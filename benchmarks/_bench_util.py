@@ -1,0 +1,35 @@
+"""Helpers shared by the benchmark modules (imported as a plain module;
+the leading underscore keeps it out of pytest's bench_*.py collection)."""
+
+from __future__ import annotations
+
+
+def record_throughput(benchmark, result) -> None:
+    """Stash measured vs paper throughput of a latency panel in
+    ``benchmark.extra_info`` (shows up in ``--benchmark-verbose`` and the
+    JSON export)."""
+    measured = result.measured_throughput()
+    for label, value in measured.items():
+        benchmark.extra_info[f"throughput[{label}]"] = round(value, 4)
+        paper = result.paper_throughput.get(label)
+        if paper is not None:
+            benchmark.extra_info[f"paper[{label}]"] = paper
+
+
+def record_table(benchmark, table) -> None:
+    """Stash a hotspot table's average row in ``benchmark.extra_info``."""
+    for (frac, label), value in table.averages().items():
+        benchmark.extra_info[f"avg[{frac:.0%}][{label}]"] = round(value, 4)
+    for (frac, label), value in table.improvement_factors().items():
+        benchmark.extra_info[f"gain[{frac:.0%}][{label}]"] = round(value, 2)
+
+
+def record_linkmap(benchmark, results) -> None:
+    """Stash link-utilisation summary stats of link-map panels."""
+    for res in results:
+        s = res.utilization.summary()
+        key = f"{res.fig_id}[{res.label}]"
+        benchmark.extra_info[f"{key}.max"] = round(s["max"], 3)
+        benchmark.extra_info[f"{key}.mean"] = round(s["mean"], 3)
+        benchmark.extra_info[f"{key}.below10pct"] = round(
+            s["frac_below_10pct"], 2)

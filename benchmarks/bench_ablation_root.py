@@ -1,0 +1,60 @@
+"""Ablation: spanning-tree root placement.
+
+Up*/down*'s weakness is that traffic concentrates near the root.  On a
+vertex-transitive torus the root's *position* should not matter (every
+placement is equivalent up to symmetry) -- a useful self-check of the
+simulator -- while on the irregular CPLANT fabric the placement choice
+changes the congestion structure and hence UP/DOWN's throughput.  ITB
+routing should be largely insensitive on both (it avoids the root).
+"""
+
+from repro.config import SimConfig
+from repro.experiments.runner import get_graph, run_simulation
+from repro.routing.table import compute_tables
+
+
+def run_with_root(topology, routing, policy, rate, root, profile):
+    g = get_graph(topology, {})
+    tables = compute_tables(g, routing, root=root)
+    cfg = SimConfig(topology=topology, routing=routing, policy=policy,
+                    traffic="uniform", injection_rate=rate,
+                    warmup_ps=profile.warmup_ps,
+                    measure_ps=profile.measure_ps)
+    return run_simulation(cfg, tables=tables)
+
+
+def test_root_placement_torus_symmetric(benchmark, profile):
+    """UP/DOWN throughput on the torus is root-invariant (symmetry)."""
+    def sweep():
+        return {root: run_with_root("torus", "updown", "sp", 0.014,
+                                    root, profile)
+                for root in (0, 27, 63)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    values = [s.accepted_flits_ns_switch for s in results.values()]
+    for root, s in results.items():
+        benchmark.extra_info[f"accepted[root={root}]"] = round(
+            s.accepted_flits_ns_switch, 4)
+    assert max(values) - min(values) <= 0.15 * max(values)
+
+
+def test_root_placement_cplant_matters_for_updown(benchmark, profile):
+    """On CPLANT the root's group shapes UP/DOWN congestion; ITB-RR
+    stays insensitive."""
+    def sweep():
+        out = {}
+        for root in (0, 25, 48):  # root group, middle group, spare switch
+            out[("updown", root)] = run_with_root(
+                "cplant", "updown", "sp", 0.055, root, profile)
+            out[("itb", root)] = run_with_root(
+                "cplant", "itb", "rr", 0.055, root, profile)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for (scheme, root), s in results.items():
+        benchmark.extra_info[f"latency[{scheme},root={root}]"] = round(
+            s.avg_latency_ns, 0)
+        benchmark.extra_info[f"sat[{scheme},root={root}]"] = s.saturated
+    itb_lat = [results[("itb", r)].avg_latency_ns for r in (0, 25, 48)]
+    # ITB's latency varies little with the root placement
+    assert max(itb_lat) <= 1.3 * min(itb_lat)

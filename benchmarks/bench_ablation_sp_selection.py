@@ -1,0 +1,71 @@
+"""Ablation: which alternative should the SP policy pin?
+
+The paper only says ITB-SP "will always choose the same minimal path".
+Three defensible choices for *which* path, all implemented:
+
+* ``enumeration`` -- first minimal path found (lexicographic; what a
+  naive table fill produces);
+* ``balanced`` -- the alternative promoted by the simple_routes-style
+  weight pass (our default; see `routing.itb.balance_first_alternatives`);
+* ``fewest-itbs`` -- the alternative with the fewest in-transit hops
+  (``sort_by_itbs=True``), minimising per-packet overhead at the price
+  of path diversity.
+
+The bench measures all three at a load near the paper's ITB-SP
+saturation point.  Lexicographic selection collapses well below it --
+the quantitative argument for the balancing pass documented in
+DESIGN.md.
+"""
+
+from repro.config import SimConfig
+from repro.experiments.runner import get_graph, run_simulation
+from repro.routing.table import compute_tables
+
+RATE = 0.028
+
+VARIANTS = {
+    "enumeration": dict(sort_by_itbs=False, balance_sp=False),
+    "balanced": dict(sort_by_itbs=False, balance_sp=True),
+    "fewest-itbs": dict(sort_by_itbs=True, balance_sp=False),
+}
+
+
+def _tables(variant):
+    from repro.routing.itb import build_itb_routes
+    from repro.routing.spanning_tree import build_spanning_tree
+    from repro.routing.table import RoutingTables
+    from repro.routing.updown import orient_links
+    g = get_graph("torus", {})
+    tree = build_spanning_tree(g, 0)
+    ud = orient_links(g, 0, tree)
+    routes = build_itb_routes(g, ud, max_routes_per_pair=10,
+                              **VARIANTS[variant])
+    return RoutingTables("itb", 0, ud, routes)
+
+
+def test_sp_first_alternative_selection(benchmark, profile):
+    def sweep():
+        out = {}
+        for variant in VARIANTS:
+            cfg = SimConfig(topology="torus", routing="itb", policy="sp",
+                            traffic="uniform", injection_rate=RATE,
+                            warmup_ps=profile.warmup_ps,
+                            measure_ps=profile.measure_ps)
+            out[variant] = run_simulation(cfg, tables=_tables(variant))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for variant, s in results.items():
+        benchmark.extra_info[f"accepted[{variant}]"] = round(
+            s.accepted_flits_ns_switch, 4)
+        benchmark.extra_info[f"itbs[{variant}]"] = round(
+            s.avg_itbs_per_message or 0, 2)
+        benchmark.extra_info[f"sat[{variant}]"] = s.saturated
+
+    # the balanced pass is what makes ITB-SP competitive
+    assert not results["balanced"].saturated
+    assert results["balanced"].accepted_flits_ns_switch >= \
+        results["enumeration"].accepted_flits_ns_switch
+    # fewest-itbs really does use fewer in-transit hops per message
+    assert results["fewest-itbs"].avg_itbs_per_message < \
+        results["balanced"].avg_itbs_per_message

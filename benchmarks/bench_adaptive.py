@@ -1,0 +1,61 @@
+"""Extension: latency-adaptive source routing (the paper's future work).
+
+Section 5 of the paper: "we are working on ... new route selection
+algorithms that implement some adaptivity at the source host."  Our
+:class:`~repro.routing.policies.AdaptivePolicy` keeps a per-pair EWMA of
+delivered network latencies per alternative and routes over the
+currently fastest one (epsilon-greedy).  This bench compares it against
+ITB-RR near RR's saturation point on the torus, under uniform and
+hotspot traffic.
+"""
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_simulation
+
+
+def _run(policy, traffic, rate, profile, traffic_kwargs=None):
+    cfg = SimConfig(topology="torus", routing="itb", policy=policy,
+                    traffic=traffic, traffic_kwargs=traffic_kwargs or {},
+                    injection_rate=rate,
+                    warmup_ps=profile.warmup_ps,
+                    measure_ps=profile.measure_ps)
+    return run_simulation(cfg)
+
+
+def test_adaptive_vs_rr_uniform(benchmark, profile):
+    def sweep():
+        out = {}
+        for policy in ("rr", "adaptive"):
+            for rate in (0.025, 0.032):
+                out[(policy, rate)] = _run(policy, "uniform", rate, profile)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for (policy, rate), s in results.items():
+        benchmark.extra_info[f"accepted[{policy}@{rate}]"] = round(
+            s.accepted_flits_ns_switch, 4)
+        benchmark.extra_info[f"latency[{policy}@{rate}]"] = round(
+            s.avg_latency_ns, 0)
+    # below saturation both are fine; adaptive must not be worse
+    assert results[("adaptive", 0.025)].avg_latency_ns <= \
+        1.1 * results[("rr", 0.025)].avg_latency_ns
+    # at RR's edge, adaptivity must accept at least as much traffic
+    assert results[("adaptive", 0.032)].accepted_flits_ns_switch >= \
+        results[("rr", 0.032)].accepted_flits_ns_switch
+
+
+def test_adaptive_routes_around_hotspot(benchmark, profile):
+    """Under a hotspot, latency feedback steers traffic off the hot
+    region's alternatives; adaptive must not lose to RR."""
+    kwargs = {"hotspot": 260, "fraction": 0.05}
+
+    def sweep():
+        return {policy: _run(policy, "hotspot", 0.022, profile, kwargs)
+                for policy in ("rr", "adaptive")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for policy, s in results.items():
+        benchmark.extra_info[f"latency[{policy}]"] = round(
+            s.avg_latency_ns, 0)
+    assert results["adaptive"].accepted_flits_ns_switch >= \
+        0.95 * results["rr"].accepted_flits_ns_switch

@@ -1,0 +1,70 @@
+"""Simulator-engine benchmarks: core event throughput and the cost of
+flit-level fidelity.
+
+These are classic pytest-benchmark micro/meso benchmarks (multiple
+rounds) rather than paper artefacts: they document how fast the two
+engines are and keep regressions visible.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_simulation
+from repro.sim.engine import Simulator
+from repro.units import ns
+
+
+def test_event_queue_throughput(benchmark):
+    """Raw engine speed: schedule/execute 50k chained events."""
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                sim.after(10, tick)
+
+        sim.at(0, tick)
+        sim.run_until_idle()
+        return count
+
+    assert benchmark(run) == 50_000
+
+
+def _cfg(engine):
+    return SimConfig(
+        topology="torus",
+        topology_kwargs={"rows": 4, "cols": 4, "hosts_per_switch": 2},
+        routing="itb", policy="rr", traffic="uniform",
+        injection_rate=0.02, engine=engine,
+        warmup_ps=ns(20_000), measure_ps=ns(120_000))
+
+
+def test_packet_engine_run(benchmark):
+    """End-to-end packet-level run on a 4x4 torus."""
+    summary = benchmark(lambda: run_simulation(_cfg("packet")))
+    assert summary.messages_delivered > 0
+
+
+def test_flit_engine_run(benchmark):
+    """Same run at flit fidelity (expect ~2 orders of magnitude slower
+    per simulated nanosecond; this documents the trade-off)."""
+    summary = benchmark.pedantic(lambda: run_simulation(_cfg("flit")),
+                                 rounds=2, iterations=1)
+    assert summary.messages_delivered > 0
+
+
+def test_engines_agree(benchmark):
+    """Cross-engine agreement measured as part of the bench suite."""
+    def both():
+        return (run_simulation(_cfg("packet")),
+                run_simulation(_cfg("flit")))
+
+    pkt, flit = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        packet_latency_ns=round(pkt.avg_latency_ns, 0),
+        flit_latency_ns=round(flit.avg_latency_ns, 0))
+    assert pkt.avg_latency_ns == pytest.approx(flit.avg_latency_ns,
+                                               rel=0.08)

@@ -1,0 +1,30 @@
+"""Figure 10: bit-reversal traffic on the torus and the express torus.
+
+Paper claims: 2-D torus -- UP/DOWN 0.017, ITB-RR 0.032 ("throughput is
+almost doubled"); express torus -- UP/DOWN 0.07, ITB-RR 0.11.
+"""
+
+from _bench_util import record_throughput
+
+from repro.experiments import figures
+
+
+def test_fig10a_torus_bitreversal(benchmark, profile):
+    result = benchmark.pedantic(lambda: figures.fig10a(profile),
+                                rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    # paper: x1.9; the bench profile's thinned rate grid clips the ITB
+    # knee to the nearest grid point, so assert a conservative x1.4
+    # (the PAPER profile reproduces the full factor, see EXPERIMENTS.md)
+    assert thr["ITB-RR"] >= 1.4 * thr["UP/DOWN"], thr
+    assert thr["ITB-SP"] >= 1.4 * thr["UP/DOWN"], thr
+
+
+def test_fig10b_express_bitreversal(benchmark, profile):
+    result = benchmark.pedantic(lambda: figures.fig10b(profile),
+                                rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    # smaller but clear gains, as with uniform traffic
+    assert thr["ITB-RR"] >= 1.2 * thr["UP/DOWN"], thr

@@ -1,0 +1,52 @@
+"""Figure 11: link utilisation, 2-D torus with 10 % hotspot traffic at
+UP/DOWN's saturation point (paper: 0.0123 flits/ns/switch).
+
+Paper claims: under UP/DOWN, links near the *root* are much more heavily
+used than links near the hotspot switch -- the root is the bigger
+hotspot.  Under ITB-RR, only links near the hotspot switch saturate.
+"""
+
+from _bench_util import record_linkmap
+
+from repro.experiments import figures
+from repro.experiments.runner import get_graph
+
+HOTSPOT_HOST = 260  # attached to switch 32
+
+
+def _near(g, link_id, switch):
+    link = g.links[link_id]
+    return switch in (link.a, link.b)
+
+
+def test_fig11_hotspot_link_utilisation(benchmark, profile):
+    results = benchmark.pedantic(
+        lambda: figures.fig11(profile, hotspot=HOTSPOT_HOST, fraction=0.10),
+        rounds=1, iterations=1)
+    record_linkmap(benchmark, results)
+    updown, itb = results
+    g = get_graph("torus", {})
+    hot_switch = g.host_switch(HOTSPOT_HOST)
+    root = 0
+
+    def zone_mean(res, switch):
+        vals = [u for (s, d, lid), u
+                in zip(res.utilization.channel_ends,
+                       res.utilization.utilization)
+                if _near(g, lid, switch)]
+        return sum(vals) / len(vals)
+
+    ud_root = zone_mean(updown, root)
+    ud_hot = zone_mean(updown, hot_switch)
+    itb_root = zone_mean(itb, root)
+    itb_hot = zone_mean(itb, hot_switch)
+    benchmark.extra_info.update(
+        updown_root=round(ud_root, 3), updown_hotspot=round(ud_hot, 3),
+        itb_root=round(itb_root, 3), itb_hotspot=round(itb_hot, 3))
+
+    # UP/DOWN: the root outglows the hotspot
+    assert ud_root > ud_hot
+    # ITB-RR: the hotspot is the hot zone, not the root
+    assert itb_hot > itb_root
+    # and ITB relieves the root dramatically
+    assert itb_root < ud_root / 2

@@ -1,0 +1,52 @@
+"""Figure 12: local traffic (destinations at most 3 switches away).
+
+Paper claims: gains are small under local traffic because up*/down* is
+minimal at short range and the load is naturally balanced --
+2-D torus: UP/DOWN ~0.10 vs ITB ~0.13; express torus: UP/DOWN performs
+*as* ITB-RR; CPLANT: small benefits.  Crucially, ITB never *hurts*:
+"the in-transit buffer mechanism does not decrease UP/DOWN performance".
+"""
+
+from _bench_util import record_throughput
+
+from repro.experiments import figures
+
+
+def test_fig12a_torus_local(benchmark, profile):
+    result = benchmark.pedantic(lambda: figures.fig12a(profile),
+                                rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    # modest but real gain on the torus (paper: x1.3)
+    assert thr["ITB-SP"] >= 1.05 * thr["UP/DOWN"], thr
+    assert thr["ITB-RR"] >= 1.05 * thr["UP/DOWN"], thr
+    # and visibly below the x2 of uniform traffic
+    assert thr["ITB-RR"] <= 1.9 * thr["UP/DOWN"], thr
+
+
+def test_fig12b_express_local(benchmark, profile):
+    result = benchmark.pedantic(lambda: figures.fig12b(profile),
+                                rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    # near-parity: ITB does not decrease UP/DOWN performance
+    assert thr["ITB-RR"] >= 0.85 * thr["UP/DOWN"], thr
+    assert thr["ITB-SP"] >= 0.85 * thr["UP/DOWN"], thr
+
+
+def test_fig12c_cplant_local(benchmark, profile):
+    result = benchmark.pedantic(lambda: figures.fig12c(profile),
+                                rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    assert thr["ITB-RR"] >= 0.85 * thr["UP/DOWN"], thr
+
+
+def test_fig12_radius4_variant(benchmark, profile):
+    """Section 4.2 also studies a 4-switch radius; the qualitative
+    picture (small gains, no regression) must persist."""
+    result = benchmark.pedantic(
+        lambda: figures.fig12a(profile, radius=4), rounds=1, iterations=1)
+    record_throughput(benchmark, result)
+    thr = result.measured_throughput()
+    assert thr["ITB-RR"] >= 0.9 * thr["UP/DOWN"], thr

@@ -1,0 +1,41 @@
+"""Figure 8: link utilisation in the 2-D torus under uniform traffic.
+
+Paper claims at 0.015 flits/ns/switch (UP/DOWN's saturation point):
+links near the root reach ~50 % utilisation under UP/DOWN while 65 % of
+links stay below 10 %; under ITB-RR every link stays below 12 %.  At
+0.03, ITB-RR links range 14--29 %.
+"""
+
+from _bench_util import record_linkmap
+
+from repro.experiments import figures
+
+
+def test_fig8_torus_link_utilisation(benchmark, profile):
+    results = benchmark.pedantic(lambda: figures.fig8(profile),
+                                 rounds=1, iterations=1)
+    record_linkmap(benchmark, results)
+    updown, itb_lo, itb_hi = results
+
+    s_ud = updown.utilization.summary()
+    s_lo = itb_lo.utilization.summary()
+    s_hi = itb_hi.utilization.summary()
+
+    # UP/DOWN at its saturation point: hot spine near the root with a
+    # large cold majority
+    assert s_ud["max"] > 0.30
+    assert s_ud["frac_below_10pct"] > 0.40
+
+    # ITB-RR at the same rate: everything cool and flat
+    assert s_lo["max"] < 0.20
+    assert s_lo["max"] < s_ud["max"] / 2
+
+    # ITB-RR at twice the rate: warmer but still flatter than UP/DOWN
+    assert s_hi["mean"] > s_lo["mean"]
+    assert s_hi["max"] < s_ud["max"] + 0.10
+
+    # the hottest UP/DOWN channel must touch the root's vicinity
+    hottest = updown.utilization.hottest(1)[0]
+    _, src, dst, _ = hottest
+    root_zone = {0, 1, 8, 9, 2, 16, 7, 56, 57, 63, 15}  # root + neighbours
+    assert src in root_zone or dst in root_zone

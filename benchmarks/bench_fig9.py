@@ -1,0 +1,54 @@
+"""Figure 9: link utilisation in the express torus at 0.066 (UP/DOWN's
+saturation point).
+
+Paper claims: UP/DOWN drives links near the root to ~50 % while the
+rest idle; ITB-RR keeps all links under 30 %, with express channels
+(~25 %) hotter than local links (~10 %) because they carry the long-haul
+traffic.
+"""
+
+from _bench_util import record_linkmap
+
+from repro.experiments import figures
+from repro.experiments.runner import get_graph
+from repro.topology.torus import switch_coords
+
+
+def _is_express(g, link_id):
+    """Express cables join switches two hops apart in one dimension."""
+    link = g.links[link_id]
+    r0, c0 = switch_coords(link.a, 8)
+    r1, c1 = switch_coords(link.b, 8)
+    dr = min(abs(r0 - r1), 8 - abs(r0 - r1))
+    dc = min(abs(c0 - c1), 8 - abs(c0 - c1))
+    return dr + dc == 2
+
+
+def test_fig9_express_link_utilisation(benchmark, profile):
+    results = benchmark.pedantic(lambda: figures.fig9(profile),
+                                 rounds=1, iterations=1)
+    record_linkmap(benchmark, results)
+    updown, itb = results
+
+    s_ud = updown.utilization.summary()
+    s_itb = itb.utilization.summary()
+
+    # UP/DOWN hot near the root; ITB-RR flat and cooler at the top end
+    assert s_ud["max"] > 0.30
+    assert s_itb["max"] < s_ud["max"]
+
+    # paper: under ITB-RR the express channels are markedly more used
+    # than the plain torus links
+    g = get_graph("torus-express", {})
+    express_util = []
+    local_util = []
+    for (src, dst, lid), u in zip(itb.utilization.channel_ends,
+                                  itb.utilization.utilization):
+        (express_util if _is_express(g, lid) else local_util).append(u)
+    avg = lambda xs: sum(xs) / len(xs)
+    benchmark.extra_info["itb_express_mean"] = round(avg(express_util), 3)
+    benchmark.extra_info["itb_local_mean"] = round(avg(local_util), 3)
+    # paper: express ~25% vs local ~10%; our gap is narrower (~1.5x)
+    # because the balanced SP/RR tables spread more load onto local
+    # links, but the ordering is robust
+    assert avg(express_util) > 1.25 * avg(local_util)

@@ -1,0 +1,37 @@
+"""Table 1: hotspot saturation throughput on the 2-D torus.
+
+Paper averages over 10 hotspot locations (flits/ns/switch):
+
+    5 % hotspot:  UP/DOWN 0.0125, ITB-SP 0.0267 (x2.13), ITB-RR 0.0274 (x2.19)
+    10 % hotspot: UP/DOWN 0.0123, ITB-SP 0.0173 (x1.40), ITB-RR 0.0183 (x1.48)
+
+The key qualitative claims: UP/DOWN is *barely* affected by the hotspot
+(its root is already the bigger hotspot), ITB gains shrink as the
+hotspot load grows, but ITB stays well ahead at both loads.
+"""
+
+from _bench_util import record_table
+
+from repro.experiments import tables
+
+
+def test_table1_torus_hotspot(benchmark, profile):
+    table = benchmark.pedantic(lambda: tables.table1(profile),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    avg = table.averages()
+    gains = table.improvement_factors()
+
+    # ITB wins clearly at 5% (paper: x2.13 / x2.19; the bench profile's
+    # single-step bisection quantises the knee, so assert x1.35+)
+    assert gains[(0.05, "ITB-SP")] >= 1.35
+    assert gains[(0.05, "ITB-RR")] >= 1.35
+    # ...and still wins at 10%, by less
+    assert gains[(0.10, "ITB-SP")] >= 1.15
+    assert gains[(0.10, "ITB-RR")] >= 1.15
+    assert gains[(0.10, "ITB-RR")] <= gains[(0.05, "ITB-RR")]
+
+    # UP/DOWN barely notices the hotspot: within ~35% of its uniform
+    # throughput (~0.016 at bench windows)
+    assert avg[(0.05, "UP/DOWN")] >= 0.010
+    assert avg[(0.10, "UP/DOWN")] >= 0.010

@@ -1,0 +1,38 @@
+"""Table 2: hotspot saturation throughput on the express torus.
+
+Paper averages:
+
+    3 % hotspot: UP/DOWN 0.0483, ITB-SP 0.0546 (x1.13), ITB-RR 0.0542 (x1.12)
+    5 % hotspot: UP/DOWN 0.0334, ITB-SP 0.0363 (x1.08), ITB-RR 0.0359 (x1.07)
+
+Qualitative claims: ITB gains on the express torus are *small* under
+hotspots (the saturated links are express channels near the hotspot,
+which ITB cannot relieve), ITB is hit harder than UP/DOWN relative to
+its uniform throughput, yet never loses outright.
+"""
+
+import dataclasses
+
+from _bench_util import record_table
+
+from repro.experiments import tables
+
+
+def test_table2_express_hotspot(benchmark, profile):
+    # one location suffices for the bench profile on this slower topology
+    prof = dataclasses.replace(profile, hotspot_locations=1)
+    table = benchmark.pedantic(lambda: tables.table2(prof),
+                               rounds=1, iterations=1)
+    record_table(benchmark, table)
+    avg = table.averages()
+    gains = table.improvement_factors()
+
+    for frac in (0.03, 0.05):
+        # small gains / near parity -- not the x2 of uniform traffic
+        assert gains[(frac, "ITB-SP")] >= 0.9
+        assert gains[(frac, "ITB-RR")] >= 0.9
+        assert gains[(frac, "ITB-RR")] <= 1.6
+
+    # heavier hotspot load costs everyone throughput
+    assert avg[(0.05, "UP/DOWN")] <= avg[(0.03, "UP/DOWN")]
+    assert avg[(0.05, "ITB-RR")] <= avg[(0.03, "ITB-RR")]

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artefact under the ``BENCH``
+profile (reduced windows / thinned grids -- see
+``repro/experiments/profiles.py``), records the headline numbers in
+``benchmark.extra_info`` and asserts the paper's *qualitative* claims
+(who wins, by roughly what factor).  The ``PAPER`` profile runs used for
+EXPERIMENTS.md are driven by ``benchmarks/run_paper_profile.py``
+instead, since they take minutes per artefact.
+
+Graph and routing-table caches are shared across all benches in the
+session (they are deterministic), which keeps total wall-clock sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.profiles import BENCH
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The fast bench profile (full 512-host topologies, short windows)."""
+    return BENCH

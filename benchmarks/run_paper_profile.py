@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Regenerate every paper artefact under the full PAPER profile.
+
+Writes incremental, human-readable results to ``results/paper_results.txt``
+and a machine-readable summary to ``results/paper_results.json``; both are
+the source of EXPERIMENTS.md.  Expect this to take on the order of an
+hour in pure Python -- the bench suite (``pytest benchmarks/
+--benchmark-only``) is the fast everyday variant.
+
+Usage:  python benchmarks/run_paper_profile.py [exp_id ...]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.experiments.profiles import PAPER
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import (render_figure, render_hotspot_table,
+                                      render_link_map)
+
+GRIDS = {"fig8": (8, 8), "fig9": (8, 8), "fig11": (8, 8)}
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(EXPERIMENTS)
+    os.makedirs("results", exist_ok=True)
+    txt_path = os.path.join("results", "paper_results.txt")
+    json_path = os.path.join("results", "paper_results.json")
+    summary: dict = {}
+
+    with open(txt_path, "w") as txt:
+        for exp_id in wanted:
+            exp = EXPERIMENTS[exp_id]
+            t0 = time.time()
+            print(f"[{time.strftime('%H:%M:%S')}] running {exp_id} "
+                  f"({exp.description}) ...", flush=True)
+            result = run_experiment(exp_id, PAPER)
+            elapsed = time.time() - t0
+
+            if exp.kind == "latency-panel":
+                txt.write(render_figure(result) + "\n\n")
+                summary[exp_id] = {
+                    "measured": result.measured_throughput(),
+                    "paper": result.paper_throughput,
+                }
+            elif exp.kind == "link-map":
+                for panel in result:
+                    txt.write(render_link_map(panel, GRIDS.get(exp_id))
+                              + "\n\n")
+                summary[exp_id] = {
+                    panel.fig_id + ":" + panel.label:
+                        panel.utilization.summary()
+                    for panel in result
+                }
+            else:  # hotspot-table
+                txt.write(render_hotspot_table(result) + "\n\n")
+                summary[exp_id] = {
+                    "averages": {f"{f}:{lab}": v for (f, lab), v
+                                 in result.averages().items()},
+                    "gains": {f"{f}:{lab}": v for (f, lab), v
+                              in result.improvement_factors().items()},
+                }
+            txt.flush()
+            with open(json_path, "w") as jf:
+                json.dump(summary, jf, indent=2)
+            print(f"    done in {elapsed:.0f}s", flush=True)
+    print(f"wrote {txt_path} and {json_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Capacity study of the Sandia CPLANT cluster (paper Figure 7c).
+
+A downstream-user scenario: you operate a CPLANT-like 400-node Myrinet
+cluster and want to know how much uniform background load it sustains
+with the stock up*/down* routes versus in-transit-buffer routing, and
+where the network runs hot.
+
+The script sweeps offered load for the three routing configurations,
+prints the latency curves, locates each saturation point, and shows the
+hottest links under UP/DOWN at its saturation point (they cluster
+around the spanning-tree root's group, exactly as Section 4.7.1
+describes).
+
+Run:  python examples/cplant_study.py        (~1 minute)
+"""
+
+from repro import SimConfig, run_simulation, sweep_rates
+from repro.units import ns
+
+RATES = [0.02, 0.04, 0.06, 0.08, 0.10]
+WINDOW = dict(warmup_ps=ns(60_000), measure_ps=ns(250_000))
+
+
+def main() -> None:
+    print("=== CPLANT (50 switches / 400 hosts), uniform traffic ===\n")
+    curves = []
+    for routing, policy in [("updown", "sp"), ("itb", "sp"), ("itb", "rr")]:
+        base = SimConfig(topology="cplant", routing=routing, policy=policy,
+                         traffic="uniform", **WINDOW)
+        curve = sweep_rates(base, RATES)
+        curves.append(curve)
+        print(f"-- {curve.label}")
+        for r in curve.runs:
+            lat = (f"{r.avg_latency_ns:8.0f} ns"
+                   if r.avg_latency_ns is not None else "     n/a")
+            print(f"   offered {r.offered_flits_ns_switch:.3f}  "
+                  f"accepted {r.accepted_flits_ns_switch:.3f}  "
+                  f"latency {lat}"
+                  f"{'   << saturated' if r.saturated else ''}")
+        print(f"   throughput: {curve.throughput():.3f} flits/ns/switch\n")
+
+    base_thr = curves[0].throughput()
+    print("ITB improvement over UP/DOWN: "
+          + ", ".join(f"{c.label} x{c.throughput() / base_thr:.2f}"
+                      for c in curves[1:]))
+    print("(paper: UP/DOWN 0.05, ITB-RR 0.095 -- roughly doubled)\n")
+
+    # where does the stock routing run hot?
+    sat = curves[0].saturation_rate() or RATES[-1]
+    cfg = SimConfig(topology="cplant", routing="updown", policy="sp",
+                    traffic="uniform", injection_rate=sat, **WINDOW)
+    summary = run_simulation(cfg, collect_links=True)
+    u = summary.link_utilization
+    assert u is not None
+    print(f"=== Hottest links under UP/DOWN at {sat:.3f} flits/ns/switch ===")
+    print("(switch ids; 0-7 is the root group of the CPLANT fabric)")
+    for util, src, dst, _lid in u.hottest(8):
+        print(f"   {util:6.1%}  switch {src:2d} -> switch {dst:2d}")
+    s = u.summary()
+    print(f"\n{s['frac_below_10pct']:.0%} of links are below 10% utilisation "
+          f"while the peak is {s['max']:.0%} -- the root bottleneck the "
+          f"in-transit buffer mechanism removes.")
+
+
+if __name__ == "__main__":
+    main()

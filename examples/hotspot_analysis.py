@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Hotspot sensitivity on the 2-D torus (paper Table 1 / Figure 11).
+
+Scenario: one host of the cluster (say a file server) receives a fixed
+share of all traffic.  How does each routing algorithm degrade as that
+share grows, and which part of the network saturates first?
+
+The script measures saturation throughput for hotspot shares of 0 %
+(pure uniform), 5 % and 10 %, then prints the per-switch utilisation
+map at UP/DOWN's saturation point so the two failure modes are visible:
+UP/DOWN collapses at the spanning-tree *root* (top-left of the map)
+regardless of where the hotspot is, while ITB-RR only runs hot around
+the *hotspot switch* itself.
+
+Run:  python examples/hotspot_analysis.py        (~2 minutes)
+"""
+
+from repro import SimConfig, find_saturation, run_simulation
+from repro.experiments.report import render_link_map
+from repro.experiments.figures import LinkMapResult
+from repro.units import ns
+
+HOTSPOT_HOST = 260          # a host on switch 32, mid-grid
+WINDOW = dict(warmup_ps=ns(40_000), measure_ps=ns(150_000))
+
+
+def saturation(routing: str, policy: str, fraction: float) -> float:
+    def run_at(rate: float):
+        if fraction > 0:
+            traffic = dict(traffic="hotspot",
+                           traffic_kwargs={"hotspot": HOTSPOT_HOST,
+                                           "fraction": fraction})
+        else:
+            traffic = dict(traffic="uniform")
+        cfg = SimConfig(topology="torus", routing=routing, policy=policy,
+                        injection_rate=rate, **traffic, **WINDOW)
+        return run_simulation(cfg)
+    return find_saturation(run_at, start_rate=0.006,
+                           refine_steps=2).throughput
+
+
+def main() -> None:
+    print(f"=== 8x8 torus, hotspot at host {HOTSPOT_HOST} ===\n")
+    rows = []
+    for fraction in (0.0, 0.05, 0.10):
+        row = {"fraction": fraction}
+        for routing, policy, label in [("updown", "sp", "UP/DOWN"),
+                                       ("itb", "sp", "ITB-SP"),
+                                       ("itb", "rr", "ITB-RR")]:
+            row[label] = saturation(routing, policy, fraction)
+        rows.append(row)
+        print(f"hotspot {fraction:4.0%}:  "
+              + "  ".join(f"{lab} {row[lab]:.4f}"
+                          for lab in ("UP/DOWN", "ITB-SP", "ITB-RR"))
+              + f"   (ITB-RR gain x{row['ITB-RR'] / row['UP/DOWN']:.2f})")
+    print("\npaper Table 1 averages: 5% -> 0.0125/0.0267/0.0274,"
+          " 10% -> 0.0123/0.0173/0.0183")
+    print("UP/DOWN barely notices the hotspot (its root is the bigger"
+          " hotspot); ITB gains shrink but stay >1.4x at 10%.\n")
+
+    # utilisation maps at UP/DOWN's 10%-hotspot saturation point
+    rate = rows[2]["UP/DOWN"]
+    for routing, policy, label in [("updown", "sp", "UP/DOWN"),
+                                   ("itb", "rr", "ITB-RR")]:
+        cfg = SimConfig(topology="torus", routing=routing, policy=policy,
+                        traffic="hotspot",
+                        traffic_kwargs={"hotspot": HOTSPOT_HOST,
+                                        "fraction": 0.10},
+                        injection_rate=rate, **WINDOW)
+        summary = run_simulation(cfg, collect_links=True)
+        res = LinkMapResult("fig11", f"10% hotspot @ {rate:.4f}",
+                            label, rate, summary.link_utilization, summary)
+        print(render_link_map(res, grid=(8, 8)))
+        print()
+    print("Note the UP/DOWN heat at the top-left (root) corner; ITB-RR's"
+          " heat sits around the hotspot switch instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Development install that works on offline / minimal environments.
+
+``pip install -e .`` needs the ``wheel`` package on older setuptools
+(its PEP 660 editable build calls ``bdist_wheel``).  On machines without
+network access that dependency cannot be fetched, so this script:
+
+1. tries the normal ``pip install -e .`` first;
+2. on failure, falls back to dropping a ``.pth`` file pointing at
+   ``src/`` into the active environment's site-packages -- functionally
+   equivalent to an editable install for a pure-Python package.
+
+Usage:  python scripts/dev_install.py
+"""
+
+from __future__ import annotations
+
+import site
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def try_pip() -> bool:
+    proc = subprocess.run(
+        [sys.executable, "-m", "pip", "install", "-e", str(REPO),
+         "--no-build-isolation"],
+        capture_output=True, text=True)
+    return proc.returncode == 0
+
+
+def pth_fallback() -> Path:
+    site_dir = Path(site.getsitepackages()[0])
+    pth = site_dir / "repro-dev.pth"
+    pth.write_text(str(SRC) + "\n")
+    return pth
+
+
+def main() -> int:
+    if try_pip():
+        print("installed via pip (editable)")
+    else:
+        pth = pth_fallback()
+        print(f"pip editable install unavailable (no 'wheel' package?); "
+              f"wrote {pth} instead")
+    out = subprocess.run(
+        [sys.executable, "-c", "import repro; print(repro.__version__)"],
+        capture_output=True, text=True)
+    if out.returncode != 0:
+        print("import check FAILED:\n" + out.stderr, file=sys.stderr)
+        return 1
+    print(f"import check OK: repro {out.stdout.strip()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

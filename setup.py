@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` also works on
+minimal environments where the ``wheel`` package (required by the
+PEP 660 editable path of older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

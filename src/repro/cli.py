@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info <topology>``
+    Topology facts and routing-table statistics (UP/DOWN vs ITB).
+
+``run``
+    One simulation; prints the run summary and, with ``--links``, the
+    link-utilisation snapshot.
+
+``sweep``
+    A latency-vs-traffic curve over a list of injection rates.
+
+``experiment <id>``
+    Regenerate one paper artefact (``fig7a`` ... ``table3``) under a
+    profile and print the rendered report.
+
+``list``
+    The experiment registry.
+
+Examples::
+
+    python -m repro info torus
+    python -m repro run --topology cplant --routing itb --policy rr \
+        --traffic uniform --rate 0.05
+    python -m repro sweep --routing updown --rates 0.005,0.01,0.015,0.02
+    python -m repro experiment fig7a --profile bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import SimConfig
+from .experiments.profiles import BENCH, PAPER, TEST, Profile
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.report import (render_figure, render_hotspot_table,
+                                 render_link_map)
+from .experiments.runner import get_graph, get_tables, run_simulation
+from .experiments.sweep import sweep_rates
+from .routing.analysis import route_statistics
+from .units import ns
+
+PROFILES = {"bench": BENCH, "paper": PAPER, "test": TEST}
+
+#: grid shapes for per-switch heat maps of known topologies
+GRIDS = {"torus": (8, 8), "torus-express": (8, 8)}
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", default="torus",
+                   choices=["torus", "torus-express", "cplant", "irregular", "mesh"])
+    p.add_argument("--routing", default="itb", choices=["updown", "itb"])
+    p.add_argument("--policy", default="rr",
+                   choices=["sp", "rr", "random", "adaptive"])
+    p.add_argument("--traffic", default="uniform",
+                   choices=["uniform", "bit-reversal", "hotspot", "local"])
+    p.add_argument("--hotspot", type=int, default=0,
+                   help="hotspot host id (hotspot traffic)")
+    p.add_argument("--hotspot-fraction", type=float, default=0.05)
+    p.add_argument("--radius", type=int, default=3,
+                   help="switch radius (local traffic)")
+    p.add_argument("--message-bytes", type=int, default=512)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warmup-ns", type=float, default=100_000)
+    p.add_argument("--measure-ns", type=float, default=400_000)
+    p.add_argument("--engine", default="packet", choices=["packet", "flit"])
+
+
+def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
+    traffic_kwargs = {}
+    if args.traffic == "hotspot":
+        traffic_kwargs = {"hotspot": args.hotspot,
+                          "fraction": args.hotspot_fraction}
+    elif args.traffic == "local":
+        traffic_kwargs = {"radius": args.radius}
+    return SimConfig(
+        topology=args.topology, routing=args.routing, policy=args.policy,
+        traffic=args.traffic, traffic_kwargs=traffic_kwargs,
+        injection_rate=rate, message_bytes=args.message_bytes,
+        seed=args.seed, warmup_ps=ns(args.warmup_ns),
+        measure_ps=ns(args.measure_ns), engine=args.engine)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    g = get_graph(args.topology, {})
+    print(f"{g.name}: {g.num_switches} switches, {g.num_hosts} hosts, "
+          f"{g.num_links} inter-switch cables")
+    degrees = sorted({g.degree(s) for s in g.switches()})
+    diameter = max(max(r) for r in g.all_pairs_distances())
+    print(f"switch degrees {degrees}, diameter {diameter}")
+    for scheme in ("updown", "itb"):
+        st = route_statistics(g, get_tables(g, (args.topology, ()), scheme))
+        print(f"{scheme:7s}: {st.fraction_minimal:6.1%} minimal, "
+              f"avg distance {st.avg_distance_sp:.2f}, "
+              f"{st.avg_alternatives:.1f} alternatives/pair, "
+              f"ITBs/msg SP {st.avg_itbs_sp:.2f} / RR {st.avg_itbs_rr:.2f}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _config_from(args, args.rate)
+    summary = run_simulation(cfg, collect_links=args.links)
+    print(summary.oneline())
+    print(f"  network latency {summary.avg_network_latency_ns:.0f} ns, "
+          f"max {summary.max_latency_ns:.0f} ns, "
+          f"{summary.messages_delivered} delivered "
+          f"/ {summary.messages_generated} generated")
+    if summary.itb_peak_bytes:
+        print(f"  in-transit pool peak {summary.itb_peak_bytes} B, "
+              f"{summary.itb_overflow_count} overflows")
+    if args.links and summary.link_utilization is not None:
+        from .experiments.figures import LinkMapResult
+        res = LinkMapResult("run", cfg.label(), cfg.label(),
+                            cfg.injection_rate, summary.link_utilization,
+                            summary)
+        print(render_link_map(res, GRIDS.get(args.topology)))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rates = [float(r) for r in args.rates.split(",")]
+    base = _config_from(args, rates[0])
+    curve = sweep_rates(base, rates)
+    print(f"{'offered':>9s} {'accepted':>9s} {'lat(ns)':>10s} {'sat':>4s}")
+    for r in curve.runs:
+        lat = (f"{r.avg_latency_ns:10.0f}"
+               if r.avg_latency_ns is not None else "       n/a")
+        print(f"{r.offered_flits_ns_switch:9.4f} "
+              f"{r.accepted_flits_ns_switch:9.4f} {lat} "
+              f"{'yes' if r.saturated else 'no':>4s}")
+    print(f"throughput (knee): {curve.throughput():.4f} flits/ns/switch")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    profile: Profile = PROFILES[args.profile]
+    exp = EXPERIMENTS.get(args.exp_id)
+    if exp is None:
+        print(f"unknown experiment {args.exp_id!r}; try: "
+              + " ".join(sorted(EXPERIMENTS)), file=sys.stderr)
+        return 2
+    result = run_experiment(args.exp_id, profile)
+    if exp.kind == "latency-panel":
+        print(render_figure(result))
+        if args.plot:
+            from .experiments.plot import render_curves
+            print()
+            print(render_curves(result.series, title=result.title))
+    elif exp.kind == "link-map":
+        for panel in result:
+            print(render_link_map(panel, (8, 8)
+                                  if "torus" in exp.description.lower()
+                                  else None))
+            print()
+    else:
+        print(render_hotspot_table(result))
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[exp_id]
+        print(f"{exp_id:8s} {exp.kind:14s} {exp.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ITB routing reproduction (Flich et al., ICPP 2000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="topology + routing-table statistics")
+    p.add_argument("topology",
+                   choices=["torus", "torus-express", "cplant", "irregular", "mesh"])
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("run", help="one simulation run")
+    _add_run_options(p)
+    p.add_argument("--rate", type=float, default=0.01,
+                   help="offered load, flits/ns/switch")
+    p.add_argument("--links", action="store_true",
+                   help="collect and print link utilisation")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sweep", help="latency-vs-traffic curve")
+    _add_run_options(p)
+    p.add_argument("--rates", default="0.005,0.01,0.02,0.03",
+                   help="comma-separated offered loads")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p.add_argument("exp_id")
+    p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    p.add_argument("--plot", action="store_true",
+                   help="also render an ASCII latency/traffic plot")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("list", help="list paper artefacts")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Configuration dataclasses for the Myrinet network model and simulation runs.
+
+:class:`MyrinetParams` carries every hardware timing constant used by the
+paper's evaluation (Sections 4.3--4.5).  The defaults reproduce the paper
+exactly; individual fields can be overridden for the sensitivity/ablation
+studies in ``benchmarks/``.
+
+:class:`SimConfig` describes one simulation run: topology, routing scheme,
+path-selection policy, traffic pattern, injection rate, message length and
+the warm-up / measurement windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .units import KB, ns
+
+
+@dataclass(frozen=True)
+class MyrinetParams:
+    """Hardware timing/sizing constants of the simulated Myrinet network.
+
+    All times are integer picoseconds (see :mod:`repro.units`), all sizes
+    are bytes.  One flit is one byte; links are one flit wide.
+    """
+
+    #: time for one flit to be injected into a physical channel (160 MB/s)
+    flit_cycle_ps: int = ns(6.25)
+    #: propagation delay of one 10 m LAN cable (4.92 ns/m * 10 m)
+    link_prop_ps: int = ns(49.2)
+    #: first-flit latency through a switch once the output port is granted
+    routing_delay_ps: int = ns(150.0)
+    #: slack (input) buffer capacity per switch port, bytes
+    slack_buffer_bytes: int = 80
+    #: stop&go: send *stop* when the input buffer fills over this level
+    stop_threshold_bytes: int = 56
+    #: stop&go: send *go* when the input buffer empties below this level
+    go_threshold_bytes: int = 40
+    #: time for an in-transit host to recognise an in-transit packet
+    #: (44 bytes received at link rate)
+    itb_detect_ps: int = ns(275.0)
+    #: time to program the DMA that re-injects an in-transit packet
+    #: (32 additional bytes received)
+    itb_dma_setup_ps: int = ns(200.0)
+    #: capacity of the in-transit buffer pool at each interface card
+    itb_pool_bytes: int = 90 * KB
+    #: extra delay applied to an in-transit packet when the NIC pool
+    #: overflows and the packet must be staged through host memory
+    itb_overflow_penalty_ps: int = ns(2000.0)
+    #: NIC buffer memory (LANai card, informational)
+    nic_memory_bytes: int = 4 * 1024 * KB
+    #: number of ports per switch
+    switch_ports: int = 16
+    #: maximum number of alternative routes kept per source-destination pair
+    max_routes_per_pair: int = 10
+
+    def with_overrides(self, **kw: Any) -> "MyrinetParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+    @property
+    def header_type_bytes(self) -> int:
+        """Bytes of packet-type information carried after the route flits."""
+        return 2
+
+    def header_bytes(self, switch_hops: int) -> int:
+        """Header length for a path traversing ``switch_hops`` switches.
+
+        Myrinet headers hold one output-link flit per switch traversed
+        (consumed hop by hop) plus the payload type field.
+        """
+        return switch_hops + self.header_type_bytes
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on physically meaningless settings."""
+        if self.flit_cycle_ps <= 0:
+            raise ValueError("flit_cycle_ps must be positive")
+        if self.link_prop_ps < 0:
+            raise ValueError("link_prop_ps must be non-negative")
+        if self.routing_delay_ps < 0:
+            raise ValueError("routing_delay_ps must be non-negative")
+        if not (0 < self.go_threshold_bytes <= self.stop_threshold_bytes
+                <= self.slack_buffer_bytes):
+            raise ValueError(
+                "need 0 < go <= stop <= slack buffer capacity, got "
+                f"go={self.go_threshold_bytes} stop={self.stop_threshold_bytes} "
+                f"slack={self.slack_buffer_bytes}")
+        if self.switch_ports < 2:
+            raise ValueError("switches need at least 2 ports")
+        if self.max_routes_per_pair < 1:
+            raise ValueError("max_routes_per_pair must be >= 1")
+
+
+#: The exact parameter set used throughout the paper's evaluation.
+PAPER_PARAMS = MyrinetParams()
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Full description of one simulation run.
+
+    ``topology`` names a builder registered in :mod:`repro.topology`
+    (``"torus"``, ``"torus-express"``, ``"cplant"``, ``"irregular"``) and
+    ``topology_kwargs`` are forwarded to it.  ``routing`` selects the route
+    computation (``"updown"`` for the simple_routes baseline, ``"itb"`` for
+    minimal routing with in-transit buffers) and ``policy`` the path
+    selection among alternatives (``"sp"``, ``"rr"``, ``"random"``;
+    UP/DOWN always has a single path so the policy is irrelevant there).
+
+    ``injection_rate`` is offered load in **flits/ns/switch**, the unit of
+    the paper's plots; each host generates fixed-size messages at constant
+    rate so that the per-switch aggregate equals this value.
+
+    ``engine`` selects the simulation fidelity: ``"packet"`` (the fast
+    wormhole model used for all paper-scale runs) or ``"flit"`` (explicit
+    slack buffers and stop&go; orders of magnitude slower, for
+    validation on small networks).
+    """
+
+    topology: str = "torus"
+    topology_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    routing: str = "updown"
+    policy: str = "sp"
+    traffic: str = "uniform"
+    traffic_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    injection_rate: float = 0.01
+    message_bytes: int = 512
+    params: MyrinetParams = PAPER_PARAMS
+    seed: int = 1
+    warmup_ps: int = ns(100_000)
+    measure_ps: int = ns(400_000)
+    #: optional hard cap on generated messages (0 = unlimited)
+    max_messages: int = 0
+    #: simulation fidelity: "packet" (fast) or "flit" (validation)
+    engine: str = "packet"
+
+    def validate(self) -> None:
+        """Sanity-check the run description."""
+        self.params.validate()
+        if self.injection_rate <= 0:
+            raise ValueError("injection_rate must be positive")
+        if self.message_bytes <= 0:
+            raise ValueError("message_bytes must be positive")
+        if self.warmup_ps < 0 or self.measure_ps <= 0:
+            raise ValueError("warmup must be >= 0 and measure window > 0")
+        if self.routing not in ("updown", "itb"):
+            raise ValueError(f"unknown routing scheme {self.routing!r}")
+        if self.policy not in ("sp", "rr", "random", "adaptive"):
+            raise ValueError(f"unknown selection policy {self.policy!r}")
+        if self.engine not in ("packet", "flit"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+    def label(self) -> str:
+        """Short human-readable label (used in reports and benches)."""
+        if self.routing == "updown":
+            return "UP/DOWN"
+        return f"ITB-{self.policy.upper()}"
+
+    def with_overrides(self, **kw: Any) -> "SimConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)

@@ -1,0 +1,33 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+* :func:`~repro.experiments.runner.run_simulation` executes one
+  :class:`~repro.config.SimConfig` and returns a
+  :class:`~repro.metrics.summary.RunSummary`;
+* :mod:`sweep` produces the latency-vs-accepted-traffic curves of the
+  figures;
+* :mod:`figures` / :mod:`tables` regenerate each paper artefact;
+* :mod:`profiles` defines the *bench* (fast) and *paper* (full-scale)
+  parameterisations;
+* :mod:`report` renders ASCII tables and series;
+* :mod:`registry` maps experiment ids (``fig7a`` ... ``table3``) to
+  callables.
+"""
+
+from __future__ import annotations
+
+from .runner import run_simulation, clear_caches
+from .sweep import sweep_rates, SweepResult
+from .profiles import Profile, BENCH, PAPER
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "run_simulation",
+    "clear_caches",
+    "sweep_rates",
+    "SweepResult",
+    "Profile",
+    "BENCH",
+    "PAPER",
+    "EXPERIMENTS",
+    "run_experiment",
+]

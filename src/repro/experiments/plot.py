@@ -1,0 +1,78 @@
+"""Terminal plotting: latency-vs-traffic curves as ASCII scatter plots.
+
+The paper's figures are latency/accepted-traffic plots; this module
+renders the same curves in a terminal so ``python -m repro experiment
+fig7a --plot`` (and the examples) can show the *shape* -- flat latency
+followed by the vertical bend at saturation -- not just number tables.
+
+No third-party plotting dependency: a fixed-size character canvas with
+one glyph per series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .sweep import SweepResult
+
+#: glyphs assigned to series in order
+GLYPHS = "ox+*#@"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(pos * (cells - 1) + 0.5)))
+
+
+def render_curves(series: Sequence[SweepResult], width: int = 64,
+                  height: int = 18, title: str = "",
+                  latency_cap_ns: Optional[float] = None) -> str:
+    """Plot accepted traffic (x) vs average latency (y) for each series.
+
+    ``latency_cap_ns`` clips the y axis (saturated points have
+    window-bound latencies that would otherwise squash the flat region);
+    by default it is 4x the highest latency among non-saturated points.
+    """
+    points: List[Tuple[float, float, str]] = []
+    used: List[Tuple[str, str]] = []
+    stable_lat: List[float] = []
+    for i, s in enumerate(series):
+        glyph = GLYPHS[i % len(GLYPHS)]
+        used.append((glyph, s.label))
+        for r in s.runs:
+            if r.avg_latency_ns is None:
+                continue
+            points.append((r.accepted_flits_ns_switch, r.avg_latency_ns,
+                           glyph))
+            if not r.saturated:
+                stable_lat.append(r.avg_latency_ns)
+    if not points:
+        return "(no data)"
+
+    if latency_cap_ns is None:
+        latency_cap_ns = 4 * max(stable_lat) if stable_lat else \
+            max(p[1] for p in points)
+    xs = [p[0] for p in points]
+    x_lo, x_hi = 0.0, max(xs)
+    y_lo = min(p[1] for p in points)
+    y_hi = latency_cap_ns
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(min(y, y_hi), y_lo, y_hi, height)
+        grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"latency (ns), {y_lo:.0f} .. {y_hi:.0f} "
+                 f"(clipped); x: accepted traffic 0 .. {x_hi:.4f} "
+                 f"flits/ns/switch")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append("  " + "   ".join(f"{g} {label}" for g, label in used))
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Experiment index: id -> callable, mirroring DESIGN.md's table.
+
+``run_experiment("fig7a", profile)`` regenerates one paper artefact.
+The registry is what `benchmarks/` and `examples/` iterate over, and
+the docstring of each callable carries the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from . import figures, tables
+from .profiles import Profile
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artefact."""
+
+    exp_id: str
+    kind: str  # "latency-panel" | "link-map" | "hotspot-table"
+    description: str
+    fn: Callable[[Profile], Any]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {}
+
+
+def _register(exp_id: str, kind: str, description: str,
+              fn: Callable[[Profile], Any]) -> None:
+    EXPERIMENTS[exp_id] = Experiment(exp_id, kind, description, fn)
+
+
+_register("fig7a", "latency-panel",
+          "Uniform traffic, 2-D torus", figures.fig7a)
+_register("fig7b", "latency-panel",
+          "Uniform traffic, express torus", figures.fig7b)
+_register("fig7c", "latency-panel",
+          "Uniform traffic, CPLANT", figures.fig7c)
+_register("fig8", "link-map",
+          "Link utilisation, torus, uniform", figures.fig8)
+_register("fig9", "link-map",
+          "Link utilisation, express torus, uniform", figures.fig9)
+_register("fig10a", "latency-panel",
+          "Bit-reversal, 2-D torus", figures.fig10a)
+_register("fig10b", "latency-panel",
+          "Bit-reversal, express torus", figures.fig10b)
+_register("fig11", "link-map",
+          "Link utilisation, torus, 10% hotspot", figures.fig11)
+_register("fig12a", "latency-panel",
+          "Local traffic, 2-D torus", figures.fig12a)
+_register("fig12b", "latency-panel",
+          "Local traffic, express torus", figures.fig12b)
+_register("fig12c", "latency-panel",
+          "Local traffic, CPLANT", figures.fig12c)
+_register("table1", "hotspot-table",
+          "Hotspot throughput, 2-D torus", tables.table1)
+_register("table2", "hotspot-table",
+          "Hotspot throughput, express torus", tables.table2)
+_register("table3", "hotspot-table",
+          "Hotspot throughput, CPLANT", tables.table3)
+
+
+def run_experiment(exp_id: str, profile: Profile) -> Any:
+    """Run one registered experiment under ``profile``."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {exp_id!r}; "
+                         f"available: {sorted(EXPERIMENTS)}") from None
+    return exp.fn(profile)

@@ -1,0 +1,174 @@
+"""Single-run executor: config in, summary out.
+
+``run_simulation`` builds (or reuses) the topology and routing tables,
+wires the wormhole network, traffic process and collectors, runs
+warm-up + measurement, and returns a :class:`RunSummary`.
+
+Topology and routing-table construction dominate short runs (the
+simple_routes balancing alone walks thousands of pair candidates), so
+both are memoised per (topology, scheme, root, cap) -- a latency sweep
+then pays the cost once.  Caches are explicit and clearable for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..config import SimConfig
+from ..metrics.collector import LatencyCollector
+from ..metrics.linkstats import collect_link_stats
+from ..metrics.summary import RunSummary
+from ..routing.policies import make_policy
+from ..routing.table import RoutingTables, compute_tables
+from ..sim.engine import Simulator
+from ..sim.flitlevel import FlitLevelNetwork
+from ..sim.network import WormholeNetwork
+from ..topology import build as build_topology
+from ..topology.graph import NetworkGraph
+from ..topology.validate import check_topology
+from ..traffic import make_pattern
+from ..traffic.base import TrafficProcess, per_host_interval_ps
+
+_GRAPH_CACHE: Dict[Tuple, NetworkGraph] = {}
+_TABLE_CACHE: Dict[Tuple, RoutingTables] = {}
+
+
+def _freeze_kwargs(kwargs: Mapping[str, Any]) -> Tuple:
+    return tuple(sorted(kwargs.items()))
+
+
+def get_graph(topology: str, topology_kwargs: Mapping[str, Any]
+              ) -> NetworkGraph:
+    """Build (or fetch the cached) topology and validate it once."""
+    key = (topology, _freeze_kwargs(topology_kwargs))
+    g = _GRAPH_CACHE.get(key)
+    if g is None:
+        g = build_topology(topology, **dict(topology_kwargs))
+        check_topology(g)
+        _GRAPH_CACHE[key] = g
+    return g
+
+
+def get_tables(g: NetworkGraph, topology_key: Tuple, scheme: str,
+               root: int = 0, max_routes_per_pair: int = 10,
+               sort_by_itbs: bool = False) -> RoutingTables:
+    """Compute (or fetch the cached) routing tables for a cached graph."""
+    key = (topology_key, scheme, root, max_routes_per_pair, sort_by_itbs)
+    t = _TABLE_CACHE.get(key)
+    if t is None:
+        t = compute_tables(g, scheme, root, max_routes_per_pair,
+                           sort_by_itbs)
+        _TABLE_CACHE[key] = t
+    return t
+
+
+def clear_caches() -> None:
+    """Drop memoised graphs and routing tables (tests use this)."""
+    _GRAPH_CACHE.clear()
+    _TABLE_CACHE.clear()
+
+
+def run_simulation(config: SimConfig, collect_links: bool = False,
+                   root: int = 0, sort_by_itbs: bool = False,
+                   watchdog_ps: Optional[int] = None,
+                   tables: Optional[RoutingTables] = None,
+                   graph: Optional[NetworkGraph] = None) -> RunSummary:
+    """Execute one simulation run described by ``config``.
+
+    ``collect_links`` additionally gathers the per-link utilisation
+    snapshot (Figures 8/9/11).  ``tables`` lets callers inject
+    custom routing tables (the deadlock-demonstration tests route
+    *without* ITBs on purpose); by default they are derived from
+    ``config.routing``.  ``graph`` overrides the topology lookup with a
+    pre-built network (failure studies run mutated copies that have no
+    registry name); such graphs bypass the table cache.
+    """
+    config.validate()
+    if graph is not None:
+        g = graph
+        if tables is None:
+            tables = compute_tables(g, config.routing, root,
+                                    config.params.max_routes_per_pair,
+                                    sort_by_itbs)
+    else:
+        topo_key = (config.topology, _freeze_kwargs(config.topology_kwargs))
+        g = get_graph(config.topology, config.topology_kwargs)
+        if tables is None:
+            tables = get_tables(g, topo_key, config.routing, root,
+                                config.params.max_routes_per_pair,
+                                sort_by_itbs)
+
+    sim = Simulator()
+    policy = make_policy(config.policy, seed=config.seed)
+    if config.engine == "flit":
+        if collect_links:
+            raise ValueError(
+                "link statistics are only implemented for the packet "
+                "engine (the flit engine is a validation tool)")
+        network = FlitLevelNetwork(sim, g, tables, policy, config.params,
+                                   message_bytes=config.message_bytes)
+    else:
+        network = WormholeNetwork(sim, g, tables, policy, config.params,
+                                  message_bytes=config.message_bytes)
+    collector = LatencyCollector()
+    network.add_delivery_callback(collector.on_delivered)
+    # adaptive policies learn from delivery latencies (no-op for others)
+    network.add_delivery_callback(policy.feedback)
+
+    pattern = make_pattern(config.traffic, g, **dict(config.traffic_kwargs))
+    interval = per_host_interval_ps(config.injection_rate,
+                                    config.message_bytes, g)
+    # permutations may silence some hosts (e.g. the 32 palindromic ids
+    # under bit-reversal): the load actually offered to the network is
+    # proportionally lower than the nominal per-host rate
+    effective_rate = (config.injection_rate
+                      * len(pattern.active_hosts()) / g.num_hosts)
+    traffic = TrafficProcess(sim, network, pattern, interval,
+                             seed=config.seed,
+                             max_messages=config.max_messages)
+
+    if watchdog_ps is None:
+        # generous: many times the zero-load service time of a message
+        watchdog_ps = 200 * (config.message_bytes
+                             * config.params.flit_cycle_ps
+                             + 20 * config.params.routing_delay_ps)
+    network.install_watchdog(watchdog_ps)
+
+    traffic.start()
+    sim.run_until(config.warmup_ps)
+    collector.reset()
+    network.reset_stats()
+    delivered_before = network.delivered
+    generated_before = network.generated
+    backlog_before = network.in_flight
+    sim.run_until(config.warmup_ps + config.measure_ps)
+    backlog_growth = network.in_flight - backlog_before
+
+    links = None
+    if collect_links:
+        links = collect_link_stats(network, config.measure_ps, config.params)
+
+    if config.engine == "flit":
+        itb_peak = 0   # the flit engine does not model the pool cap
+        overflows = 0
+    else:
+        itb_peak = max((nic.itb_peak_bytes for nic in network.nics),
+                       default=0)
+        overflows = sum(nic.itb_overflows for nic in network.nics)
+    return RunSummary(
+        config=config,
+        offered_flits_ns_switch=effective_rate,
+        accepted_flits_ns_switch=collector.accepted_flits_ns_switch(
+            config.measure_ps, g.num_switches),
+        messages_delivered=network.delivered - delivered_before,
+        messages_generated=network.generated - generated_before,
+        avg_latency_ns=collector.avg_latency_ns(),
+        avg_network_latency_ns=collector.avg_network_latency_ns(),
+        max_latency_ns=(collector.max_latency_ps / 1_000
+                        if collector.messages else None),
+        avg_itbs_per_message=collector.avg_itbs_per_message(),
+        itb_overflow_count=overflows,
+        itb_peak_bytes=itb_peak,
+        link_utilization=links,
+        backlog_growth=backlog_growth,
+    )

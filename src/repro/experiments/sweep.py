@@ -1,0 +1,82 @@
+"""Latency-vs-traffic sweeps: the raw material of the paper's figures.
+
+A sweep runs one configuration at a list of offered rates and collects
+the ``(accepted traffic, average latency)`` series that the paper plots.
+Points past saturation are kept (flagged) -- the paper's curves also
+bend vertical there -- but their latency is window-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import SimConfig
+from ..metrics.summary import RunSummary
+from .runner import run_simulation
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One curve: a configuration swept over offered rates."""
+
+    label: str
+    runs: List[RunSummary]
+
+    @property
+    def rates(self) -> List[float]:
+        return [r.offered_flits_ns_switch for r in self.runs]
+
+    @property
+    def accepted(self) -> List[float]:
+        return [r.accepted_flits_ns_switch for r in self.runs]
+
+    @property
+    def latencies_ns(self) -> List[Optional[float]]:
+        return [r.avg_latency_ns for r in self.runs]
+
+    def throughput(self) -> float:
+        """Saturation throughput: the knee of the curve.
+
+        The highest accepted traffic among *non-saturated* points --
+        i.e. the load the network sustains while still tracking offered
+        traffic.  Past the knee, accepted traffic can keep creeping up
+        (flows that avoid the congested region still get through), but
+        latency is unbounded there, so the paper reads the knee.  When
+        every point saturated (the sweep started too high) the overall
+        maximum is returned as a fallback.
+        """
+        stable = [r.accepted_flits_ns_switch for r in self.runs
+                  if not r.saturated]
+        return max(stable) if stable else max(self.accepted)
+
+    def saturation_rate(self) -> Optional[float]:
+        """Lowest offered rate at which the run saturated (None if the
+        sweep never reached saturation)."""
+        for r in self.runs:
+            if r.saturated:
+                return r.offered_flits_ns_switch
+        return None
+
+
+def sweep_rates(base: SimConfig, rates: Sequence[float],
+                stop_after_saturation: int = 1,
+                **runner_kwargs) -> SweepResult:
+    """Run ``base`` at each rate (ascending).
+
+    ``stop_after_saturation`` limits how many saturated points are
+    simulated beyond the first (saturated runs are the slowest: the
+    network is full of contending packets), preserving the curve's
+    vertical bend without paying for points that carry no information.
+    """
+    sat_seen = 0
+    runs: List[RunSummary] = []
+    for rate in sorted(rates):
+        cfg = base.with_overrides(injection_rate=rate)
+        summary = run_simulation(cfg, **runner_kwargs)
+        runs.append(summary)
+        if summary.saturated:
+            sat_seen += 1
+            if sat_seen > stop_after_saturation:
+                break
+    return SweepResult(base.label(), runs)

@@ -1,0 +1,147 @@
+"""Regeneration of Tables 1--3: hotspot saturation throughput.
+
+Each table cell is the saturation throughput of one (routing, hotspot
+location, hotspot load) configuration, found by
+:func:`repro.metrics.saturation.find_saturation`.  Hotspot locations are
+"chosen randomly" in the paper (10 per topology); we draw them
+deterministically from a seed so the tables are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..metrics.saturation import SaturationResult, find_saturation
+from .figures import ROUTINGS
+from .profiles import Profile
+from .runner import get_graph, run_simulation
+
+
+@dataclass(frozen=True)
+class HotspotTable:
+    """One of the paper's hotspot tables."""
+
+    table_id: str
+    title: str
+    topology: str
+    #: hotspot loads studied (e.g. 0.05 and 0.10 for Table 1)
+    fractions: Tuple[float, ...]
+    #: hotspot host ids used
+    locations: Tuple[int, ...]
+    #: throughput[(fraction, location, label)] in flits/ns/switch
+    throughput: Dict[Tuple[float, int, str], float]
+
+    def averages(self) -> Dict[Tuple[float, str], float]:
+        """Average row of the paper's tables: mean over locations."""
+        out: Dict[Tuple[float, str], float] = {}
+        for frac in self.fractions:
+            for _, policy_label in _labels():
+                vals = [self.throughput[(frac, loc, policy_label)]
+                        for loc in self.locations]
+                out[(frac, policy_label)] = sum(vals) / len(vals)
+        return out
+
+    def improvement_factors(self) -> Dict[Tuple[float, str], float]:
+        """ITB throughput relative to UP/DOWN (the paper's 2.13x etc.)."""
+        avg = self.averages()
+        out: Dict[Tuple[float, str], float] = {}
+        for frac in self.fractions:
+            base = avg[(frac, "UP/DOWN")]
+            for label in ("ITB-SP", "ITB-RR"):
+                out[(frac, label)] = avg[(frac, label)] / base
+        return out
+
+
+def _labels() -> List[Tuple[Tuple[str, str], str]]:
+    names = {("updown", "sp"): "UP/DOWN", ("itb", "sp"): "ITB-SP",
+             ("itb", "rr"): "ITB-RR"}
+    return [(rp, names[rp]) for rp in ROUTINGS]
+
+
+def pick_hotspots(topology: str, count: int, seed: int = 7,
+                  topology_kwargs: Optional[dict] = None) -> List[int]:
+    """Deterministically draw ``count`` distinct hotspot host ids."""
+    g = get_graph(topology, topology_kwargs or {})
+    rng = random.Random(f"{seed}:{topology}:{count}")
+    return sorted(rng.sample(range(g.num_hosts), count))
+
+
+def _cell_throughput(topology: str, fraction: float, location: int,
+                     routing: str, policy: str, profile: Profile,
+                     start_rate: float, seed: int = 1) -> SaturationResult:
+    def run_at(rate: float):
+        cfg = SimConfig(
+            topology=topology, routing=routing, policy=policy,
+            traffic="hotspot",
+            traffic_kwargs={"hotspot": location, "fraction": fraction},
+            injection_rate=rate,
+            warmup_ps=profile.sat_warmup_ps,
+            measure_ps=profile.sat_measure_ps,
+            seed=seed)
+        return run_simulation(cfg)
+    return find_saturation(run_at, start_rate, growth=profile.sat_growth,
+                           refine_steps=profile.sat_refine_steps)
+
+
+def _hotspot_table(table_id: str, title: str, topology: str,
+                   fractions: Tuple[float, ...], profile: Profile,
+                   start_rate: float, seed: int = 7) -> HotspotTable:
+    locations = tuple(pick_hotspots(topology, profile.hotspot_locations,
+                                    seed))
+    cells: Dict[Tuple[float, int, str], float] = {}
+    for frac in fractions:
+        for loc in locations:
+            for (routing, policy), label in _labels():
+                sat = _cell_throughput(topology, frac, loc, routing,
+                                       policy, profile, start_rate)
+                cells[(frac, loc, label)] = sat.throughput
+    return HotspotTable(table_id, title, topology, fractions, locations,
+                        cells)
+
+
+def table1(profile: Profile) -> HotspotTable:
+    """Table 1: 2-D torus, 5 % and 10 % hotspot traffic.
+
+    Paper averages (flits/ns/switch): 5 % -> 0.0125 / 0.0267 / 0.0274;
+    10 % -> 0.0123 / 0.0173 / 0.0183 for UP/DOWN / ITB-SP / ITB-RR.
+    """
+    return _hotspot_table("table1", "Hotspot throughput, 2-D torus",
+                          "torus", (0.05, 0.10), profile,
+                          start_rate=0.006)
+
+
+def table2(profile: Profile) -> HotspotTable:
+    """Table 2: express torus, 3 % and 5 % hotspot traffic.
+
+    Paper averages: 3 % -> 0.0483 / 0.0546 / 0.0542;
+    5 % -> 0.0334 / 0.0363 / 0.0359.
+    """
+    return _hotspot_table("table2",
+                          "Hotspot throughput, 2-D torus + express",
+                          "torus-express", (0.03, 0.05), profile,
+                          start_rate=0.015)
+
+
+def table3(profile: Profile) -> HotspotTable:
+    """Table 3: CPLANT, 5 % hotspot traffic.
+
+    Paper averages: 0.0340 / 0.0423 / 0.0451.
+    """
+    return _hotspot_table("table3", "Hotspot throughput, CPLANT",
+                          "cplant", (0.05,), profile, start_rate=0.012)
+
+
+#: paper-reported average rows, for EXPERIMENTS.md comparison
+PAPER_TABLE_AVERAGES: Dict[str, Dict[Tuple[float, str], float]] = {
+    "table1": {(0.05, "UP/DOWN"): 0.0125, (0.05, "ITB-SP"): 0.0267,
+               (0.05, "ITB-RR"): 0.0274, (0.10, "UP/DOWN"): 0.0123,
+               (0.10, "ITB-SP"): 0.0173, (0.10, "ITB-RR"): 0.0183},
+    "table2": {(0.03, "UP/DOWN"): 0.0483, (0.03, "ITB-SP"): 0.0546,
+               (0.03, "ITB-RR"): 0.0542, (0.05, "UP/DOWN"): 0.0334,
+               (0.05, "ITB-SP"): 0.0363, (0.05, "ITB-RR"): 0.0359},
+    "table3": {(0.05, "UP/DOWN"): 0.0340, (0.05, "ITB-SP"): 0.0423,
+               (0.05, "ITB-RR"): 0.0451},
+}

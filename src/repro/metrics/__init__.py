@@ -1,0 +1,26 @@
+"""Measurement: latency, accepted traffic, link utilisation, saturation.
+
+* :class:`LatencyCollector` accumulates per-message latency and
+  delivered payload during the measurement window;
+* :mod:`linkstats` turns per-channel counters into the paper's
+  link-utilisation maps (Figures 8, 9, 11);
+* :class:`RunSummary` is the immutable result of one simulation run;
+* :mod:`saturation` finds the saturation throughput reported in the
+  paper's tables.
+"""
+
+from __future__ import annotations
+
+from .collector import LatencyCollector
+from .linkstats import LinkUtilization, collect_link_stats
+from .summary import RunSummary
+from .saturation import find_saturation, SaturationResult
+
+__all__ = [
+    "LatencyCollector",
+    "LinkUtilization",
+    "collect_link_stats",
+    "RunSummary",
+    "find_saturation",
+    "SaturationResult",
+]

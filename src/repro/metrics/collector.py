@@ -1,0 +1,101 @@
+"""Latency / throughput accumulation during the measurement window.
+
+The collector registers itself as a delivery callback on the network.
+Until :meth:`reset` (called at the end of warm-up) it discards samples;
+afterwards every delivered message contributes its payload flits and
+its two latencies:
+
+* **latency** -- creation to full delivery (includes source-NIC
+  queueing; this is what diverges at saturation);
+* **network latency** -- first flit injected to full delivery (the
+  paper's definition: "the elapsed time between the injection of a
+  message into the network at the source host until it is delivered").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.packet import Packet
+
+
+class LatencyCollector:
+    """Accumulates delivery statistics; attach via
+    ``network.add_delivery_callback(collector.on_delivered)``."""
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        #: retain every latency sample (ns-precision percentiles) --
+        #: off by default to keep long runs lean
+        self.keep_samples = keep_samples
+        self.active = True
+        self.messages = 0
+        self.payload_flits = 0
+        self.sum_latency_ps = 0
+        self.sum_network_latency_ps = 0
+        self.max_latency_ps = 0
+        self.sum_itbs = 0
+        self.sum_itb_overflows = 0
+        self.samples_ps: List[int] = []
+
+    def on_delivered(self, pkt: Packet) -> None:
+        if not self.active:
+            return
+        lat = pkt.latency_ps()
+        self.messages += 1
+        self.payload_flits += pkt.payload_bytes
+        self.sum_latency_ps += lat
+        self.sum_network_latency_ps += pkt.network_latency_ps()
+        if lat > self.max_latency_ps:
+            self.max_latency_ps = lat
+        self.sum_itbs += pkt.num_itbs
+        self.sum_itb_overflows += pkt.itb_overflows
+        if self.keep_samples:
+            self.samples_ps.append(lat)
+
+    def reset(self) -> None:
+        """Zero everything (end of warm-up)."""
+        self.messages = 0
+        self.payload_flits = 0
+        self.sum_latency_ps = 0
+        self.sum_network_latency_ps = 0
+        self.max_latency_ps = 0
+        self.sum_itbs = 0
+        self.sum_itb_overflows = 0
+        self.samples_ps.clear()
+
+    # -- derived metrics ----------------------------------------------------
+
+    def avg_latency_ns(self) -> Optional[float]:
+        if not self.messages:
+            return None
+        return self.sum_latency_ps / self.messages / 1_000
+
+    def avg_network_latency_ns(self) -> Optional[float]:
+        if not self.messages:
+            return None
+        return self.sum_network_latency_ps / self.messages / 1_000
+
+    def avg_itbs_per_message(self) -> Optional[float]:
+        if not self.messages:
+            return None
+        return self.sum_itbs / self.messages
+
+    def accepted_flits_ns_switch(self, window_ps: int,
+                                 num_switches: int) -> float:
+        """Accepted traffic in the paper's unit (payload flits only,
+        matching the offered-load definition)."""
+        if window_ps <= 0 or num_switches <= 0:
+            raise ValueError("window and switch count must be positive")
+        return self.payload_flits * 1_000 / (window_ps * num_switches)
+
+    def percentile_ns(self, q: float) -> Optional[float]:
+        """Latency percentile; requires ``keep_samples=True``."""
+        if not self.keep_samples:
+            raise RuntimeError("collector was created with keep_samples=False")
+        if not self.samples_ps:
+            return None
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("percentile must be in [0, 1]")
+        data = sorted(self.samples_ps)
+        idx = min(len(data) - 1, int(q * len(data)))
+        return data[idx] / 1_000

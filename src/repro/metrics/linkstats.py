@@ -1,0 +1,84 @@
+"""Per-link utilisation maps (Figures 8, 9 and 11 of the paper).
+
+The paper plots, for a given injection rate, the utilisation of every
+inter-switch link.  Our channels count transferred flits, so
+
+    utilisation = flits * flit_cycle / measurement_window
+
+per *directed* channel; the per-cable figure used in the paper's maps is
+the maximum of the two directions (a cable shows up as hot when either
+direction is hot).  The difference between reserved time and transfer
+time quantifies the "links idle due to flow control" effect discussed in
+Section 4.7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..config import MyrinetParams
+from ..sim.network import WormholeNetwork
+from ..sim.channel import NET
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """Utilisation snapshot over one measurement window."""
+
+    window_ps: int
+    #: per directed NET channel: (src switch, dst switch, link id)
+    channel_ends: List[tuple]
+    #: fraction of the window each directed channel spent moving flits
+    utilization: np.ndarray
+    #: fraction of the window each directed channel was reserved
+    reserved: np.ndarray
+    #: per physical cable: max of the two directions
+    per_link: np.ndarray
+
+    def summary(self) -> dict:
+        """Aggregate numbers quoted in the paper's text."""
+        u = self.per_link
+        return {
+            "max": float(u.max()),
+            "mean": float(u.mean()),
+            "min": float(u.min()),
+            "frac_below_10pct": float((u < 0.10).mean()),
+            "frac_above_30pct": float((u > 0.30).mean()),
+        }
+
+    def blocked_fraction(self) -> np.ndarray:
+        """Per directed channel: reserved but not transferring
+        (wormhole stalls / flow control idling)."""
+        return self.reserved - self.utilization
+
+    def hottest(self, k: int = 5) -> List[tuple]:
+        """The ``k`` hottest directed channels as
+        ``(utilisation, src, dst, link_id)``."""
+        order = np.argsort(self.utilization)[::-1][:k]
+        return [(float(self.utilization[i]), *self.channel_ends[i])
+                for i in order]
+
+
+def collect_link_stats(network: WormholeNetwork, window_ps: int,
+                       params: MyrinetParams) -> LinkUtilization:
+    """Snapshot utilisation of all inter-switch channels."""
+    if window_ps <= 0:
+        raise ValueError("window must be positive")
+    ends = []
+    util = []
+    resv = []
+    num_links = network.graph.num_links
+    per_link = np.zeros(num_links)
+    for ch in network.channels:
+        if ch.kind != NET:
+            continue
+        ends.append((ch.src, ch.dst, ch.link_id))
+        u = ch.utilization(window_ps, params.flit_cycle_ps)
+        util.append(u)
+        resv.append(ch.reserved_fraction(window_ps))
+        per_link[ch.link_id] = max(per_link[ch.link_id], u)
+    return LinkUtilization(window_ps, ends, np.array(util), np.array(resv),
+                           per_link)

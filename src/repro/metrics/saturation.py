@@ -1,0 +1,98 @@
+"""Saturation-throughput search (the numbers in Tables 1--3).
+
+The paper reports, per configuration, the *throughput*: the highest
+accepted traffic the network sustains.  Past saturation, accepted
+traffic stops tracking offered traffic (source queues grow without
+bound), so the search strategy is:
+
+1. geometric ramp-up of the offered rate until a run saturates
+   (accepted < 95 % of offered);
+2. bisection between the last non-saturated and first saturated rate;
+3. report the maximum *accepted* traffic observed at a non-saturated
+   operating point -- the knee of the curve, which is what the paper's
+   tables quote.  (Accepted traffic can keep inching up past the knee
+   as uncongested flows push through, but latency is unbounded there.)
+
+The function is engine-agnostic: it takes a ``run_at(rate)`` callable
+returning a :class:`~repro.metrics.summary.RunSummary`, so tests can
+exercise it with synthetic response curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .summary import RunSummary
+
+RunAt = Callable[[float], RunSummary]
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of a saturation search."""
+
+    #: highest accepted traffic observed (flits/ns/switch) -- the
+    #: paper's "throughput"
+    throughput: float
+    #: highest offered rate that was still not saturated
+    last_stable_rate: float
+    #: lowest offered rate that saturated
+    first_saturated_rate: float
+    #: every run performed, in execution order
+    runs: List[RunSummary]
+
+
+def find_saturation(run_at: RunAt, start_rate: float,
+                    growth: float = 1.5, refine_steps: int = 3,
+                    max_rate: float = 10.0) -> SaturationResult:
+    """Locate saturation throughput via geometric ramp + bisection.
+
+    ``start_rate`` should be comfortably below saturation; ``growth``
+    is the ramp factor; ``refine_steps`` bisection iterations bound the
+    rate bracket to ``(growth - 1) / 2**refine_steps`` relative error.
+    """
+    if start_rate <= 0:
+        raise ValueError("start_rate must be positive")
+    if growth <= 1.0:
+        raise ValueError("growth must exceed 1")
+    runs: List[RunSummary] = []
+
+    def measure(rate: float) -> RunSummary:
+        s = run_at(rate)
+        runs.append(s)
+        return s
+
+    rate = start_rate
+    lo = 0.0           # highest known stable rate
+    hi = None          # lowest known saturated rate
+    while hi is None:
+        s = measure(rate)
+        if s.saturated:
+            hi = rate
+        else:
+            lo = rate
+            rate *= growth
+            if rate > max_rate:
+                # never saturated within bounds: report what we saw
+                return SaturationResult(_knee(runs), lo, float("inf"),
+                                        runs)
+
+    for _ in range(refine_steps):
+        mid = (lo + hi) / 2
+        s = measure(mid)
+        if s.saturated:
+            hi = mid
+        else:
+            lo = mid
+
+    return SaturationResult(_knee(runs), lo, hi, runs)
+
+
+def _knee(runs: List[RunSummary]) -> float:
+    """Highest accepted traffic at a non-saturated operating point
+    (overall maximum as a fallback when everything saturated)."""
+    stable = [r.accepted_flits_ns_switch for r in runs if not r.saturated]
+    if stable:
+        return max(stable)
+    return max(r.accepted_flits_ns_switch for r in runs)

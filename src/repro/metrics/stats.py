@@ -1,0 +1,99 @@
+"""Statistical utilities: batch-means confidence intervals.
+
+Latency samples from a single simulation run are autocorrelated (a
+congestion episode inflates many consecutive messages), so the naive
+i.i.d. standard error is too optimistic.  The classic remedy is the
+**batch means** method: split the sample stream into ``k`` contiguous
+batches, treat the batch averages as (approximately) independent, and
+build a t-interval over them.  The experiment harness uses this to
+decide whether two configurations' latencies are distinguishable at a
+given window length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: two-sided 95 % Student-t critical values for df = 1..30
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % t critical value (1.96 beyond 30 dof)."""
+    if df < 1:
+        raise ValueError("need at least one degree of freedom")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric 95 % half-width."""
+
+    mean: float
+    half_width: float
+    batches: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True when the two intervals intersect (the difference is not
+        resolvable at this confidence level)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (precision measure)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+
+def replication_interval(values: Sequence[float]) -> ConfidenceInterval:
+    """95 % t-interval over independent replications (e.g. one value per
+    simulation seed).  Unlike :func:`batch_means` no contiguity is
+    assumed -- each value must come from an independent run."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two replications")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_critical_95(n - 1) * math.sqrt(var / n)
+    return ConfidenceInterval(mean, half, n)
+
+
+def batch_means(samples: Sequence[float],
+                batches: int = 10) -> ConfidenceInterval:
+    """95 % batch-means confidence interval for the mean of ``samples``.
+
+    ``samples`` must be in arrival order (batching relies on
+    contiguity).  Requires at least 2 samples per batch; trailing
+    samples that do not fill the last batch are dropped.
+    """
+    if batches < 2:
+        raise ValueError("need at least 2 batches")
+    n = len(samples)
+    per = n // batches
+    if per < 2:
+        raise ValueError(
+            f"need at least {2 * batches} samples for {batches} batches, "
+            f"got {n}")
+    means: List[float] = []
+    for b in range(batches):
+        chunk = samples[b * per:(b + 1) * per]
+        means.append(sum(chunk) / per)
+    grand = sum(means) / batches
+    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    half = t_critical_95(batches - 1) * math.sqrt(var / batches)
+    return ConfidenceInterval(grand, half, batches)

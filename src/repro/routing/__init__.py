@@ -1,0 +1,55 @@
+"""Routing algorithms: up*/down* (Myrinet baseline) and in-transit buffers.
+
+The pipeline mirrors Section 2--3 of the paper:
+
+1. :mod:`spanning_tree` computes the BFS spanning tree and assigns an
+   "up" direction to every link (Autonet rules).
+2. :mod:`updown` provides legality checks and shortest *legal* path
+   machinery on the resulting directed-link structure.
+3. :mod:`simple_routes` reimplements Myricom's ``simple_routes`` program:
+   one weight-balanced valid up*/down* route per switch pair -- this is
+   the paper's UP/DOWN baseline.
+4. :mod:`minimal` enumerates true minimal paths (up to the 10-alternative
+   table cap).
+5. :mod:`itb` splits minimal paths that violate the up*/down* rule into
+   legal sub-routes joined at in-transit hosts, producing the ITB routes.
+6. :mod:`table` assembles per-pair route tables;
+   :mod:`policies` implements the SP / RR (and extension: random)
+   path-selection policies.
+7. :mod:`analysis` computes the route-quality statistics quoted in the
+   paper (fraction of minimal paths, average distance, ITBs per message).
+
+:func:`compute_tables` is the high-level entry point used by the
+experiment runner.
+"""
+
+from __future__ import annotations
+
+from .routes import RouteLeg, SourceRoute
+from .spanning_tree import SpanningTree, build_spanning_tree
+from .updown import UpDownOrientation, orient_links
+from .simple_routes import compute_simple_routes
+from .minimal import enumerate_minimal_paths
+from .itb import build_itb_routes, split_path_at_violations
+from .table import RoutingTables, compute_tables
+from .policies import make_policy, PathSelectionPolicy
+from .analysis import route_statistics, RouteStats
+
+__all__ = [
+    "RouteLeg",
+    "SourceRoute",
+    "SpanningTree",
+    "build_spanning_tree",
+    "UpDownOrientation",
+    "orient_links",
+    "compute_simple_routes",
+    "enumerate_minimal_paths",
+    "build_itb_routes",
+    "split_path_at_violations",
+    "RoutingTables",
+    "compute_tables",
+    "make_policy",
+    "PathSelectionPolicy",
+    "route_statistics",
+    "RouteStats",
+]

@@ -1,0 +1,78 @@
+"""Enumeration of true minimal (shortest) paths between switch pairs.
+
+The in-transit buffer routing always uses minimal paths (Section 3), and
+the routing table keeps at most 10 alternatives per pair (Section 4.5).
+Shortest paths are enumerated over the shortest-path DAG toward the
+destination: an edge ``u -> v`` is on some shortest path to ``d``
+exactly when ``dist_d[v] == dist_d[u] - 1``.
+
+Enumeration explores neighbours in ascending switch id (deterministic)
+and stops at the alternative cap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology.graph import NetworkGraph
+
+
+def enumerate_minimal_paths(g: NetworkGraph, src: int, dst: int,
+                            dist_to_dst: List[int],
+                            max_paths: int = 10) -> List[Tuple[int, ...]]:
+    """Up to ``max_paths`` minimal switch paths from ``src`` to ``dst``.
+
+    ``dist_to_dst`` must be ``g.shortest_distances(dst)`` (hop counts to
+    the destination); passing it in lets callers reuse one BFS per
+    destination across all sources.
+    """
+    if src == dst:
+        return [(src,)]
+    if dist_to_dst[src] < 0:
+        return []
+    out: List[Tuple[int, ...]] = []
+    path = [src]
+
+    def dfs(s: int) -> bool:
+        if len(out) >= max_paths:
+            return False
+        d = dist_to_dst[s]
+        for nb, _lid in sorted(g.neighbors(s)):
+            if dist_to_dst[nb] != d - 1:
+                continue
+            if nb == dst:
+                out.append(tuple(path) + (dst,))
+                if len(out) >= max_paths:
+                    return False
+                continue
+            path.append(nb)
+            ok = dfs(nb)
+            path.pop()
+            if not ok:
+                return False
+        return True
+
+    dfs(src)
+    return out
+
+
+def count_minimal_paths(g: NetworkGraph, dst: int,
+                        dist_to_dst: List[int]) -> List[int]:
+    """Number of distinct minimal paths from every switch to ``dst``.
+
+    Dynamic programming over the shortest-path DAG (exact, no cap);
+    used by tests to validate the enumerator against an independent
+    computation.
+    """
+    order = sorted(range(g.num_switches), key=lambda s: dist_to_dst[s])
+    count = [0] * g.num_switches
+    count[dst] = 1
+    for s in order:
+        if s == dst or dist_to_dst[s] < 0:
+            continue
+        total = 0
+        for nb, _lid in g.neighbors(s):
+            if dist_to_dst[nb] == dist_to_dst[s] - 1:
+                total += count[nb]
+        count[s] = total
+    return count

@@ -1,0 +1,186 @@
+"""Path-selection policies over route alternatives (Section 4.6).
+
+The paper evaluates two policies on top of the ITB routes:
+
+* **SP** (single path): every packet of a source-destination pair uses
+  the same (first) alternative;
+* **RR** (round-robin): consecutive packets of a pair cycle through all
+  alternatives, spreading load over the minimal paths.
+
+``random`` is an extension: pick a uniformly random alternative per
+packet (memoryless spreading, no per-pair state in the NIC).
+
+Policies are stateful per *host pair* -- the round-robin pointer lives in
+the source NIC's routing table, exactly as the MCP would keep it.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Tuple
+
+from .routes import SourceRoute
+
+
+class PathSelectionPolicy(ABC):
+    """Strategy choosing one route among a pair's alternatives."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, src_host: int, dst_host: int,
+               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+        """Pick the route for the next packet from ``src_host`` to
+        ``dst_host``."""
+
+    def feedback(self, pkt) -> None:
+        """Delivery notification (called by the network for every
+        delivered packet).  Stateless policies ignore it; adaptive ones
+        use the observed latency."""
+
+
+class SinglePathPolicy(PathSelectionPolicy):
+    """Always the first alternative (ITB-SP; also UP/DOWN's only option)."""
+
+    name = "sp"
+
+    def select(self, src_host: int, dst_host: int,
+               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+        return alternatives[0]
+
+
+class RoundRobinPolicy(PathSelectionPolicy):
+    """Cycle through alternatives per source-destination host pair (ITB-RR).
+
+    The first packet of a pair starts at a pair-dependent offset
+    (``staggered_start``, default on) rather than always at alternative
+    0: with 512 hosts and uniform traffic most pairs exchange only a
+    handful of messages per run, and a zero start would collapse RR into
+    SP.  The stagger reproduces the paper's reported behaviour (0.54
+    in-transit buffers per message for RR on the torus, i.e. the mean
+    over all alternatives) while remaining strictly round-robin per pair.
+    """
+
+    name = "rr"
+
+    def __init__(self, staggered_start: bool = True) -> None:
+        self._next: Dict[Tuple[int, int], int] = {}
+        self._staggered = staggered_start
+
+    def _start_index(self, src_host: int, dst_host: int) -> int:
+        if not self._staggered:
+            return 0
+        # deterministic integer mix (Python's hash() is salted per run)
+        x = src_host * 2654435761 ^ dst_host * 2246822519
+        x ^= x >> 13
+        return x & 0x7FFFFFFF
+
+    def select(self, src_host: int, dst_host: int,
+               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+        key = (src_host, dst_host)
+        i = self._next.get(key)
+        if i is None:
+            i = self._start_index(src_host, dst_host)
+        i %= len(alternatives)
+        self._next[key] = i + 1
+        return alternatives[i]
+
+
+class RandomPolicy(PathSelectionPolicy):
+    """Uniformly random alternative per packet (extension policy)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, src_host: int, dst_host: int,
+               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+        return alternatives[self._rng.randrange(len(alternatives))]
+
+
+class AdaptivePolicy(PathSelectionPolicy):
+    """Latency-adaptive selection at the source host (extension).
+
+    The paper's future work proposes "new route selection algorithms
+    that implement some adaptivity at the source host".  This policy is
+    one such algorithm: the NIC keeps, per source-destination pair and
+    per alternative, an exponentially weighted moving average of the
+    network latency of delivered messages (feedback a Myrinet MCP could
+    obtain from software-level acknowledgements), and routes each new
+    message over the alternative with the lowest estimate.  With
+    probability ``epsilon`` it explores a uniformly random alternative
+    so stale estimates recover; unobserved alternatives are always
+    preferred over observed ones (optimistic initialisation).
+    """
+
+    name = "adaptive"
+
+    def __init__(self, seed: int = 0, epsilon: float = 0.1,
+                 alpha: float = 0.25) -> None:
+        if not (0.0 <= epsilon <= 1.0):
+            raise ValueError("epsilon must be in [0, 1]")
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self._rng = random.Random(seed)
+        self.epsilon = epsilon
+        self.alpha = alpha
+        #: (src, dst) -> {route object id: alternative index}
+        self._index: Dict[Tuple[int, int], Dict[int, int]] = {}
+        #: (src, dst) -> per-alternative latency EWMA (ps); None = never
+        #: observed
+        self._ewma: Dict[Tuple[int, int], list] = {}
+
+    def register(self, src_host: int, dst_host: int,
+                 alternatives: Sequence[SourceRoute]) -> list:
+        """Initialise (or fetch) the pair's estimate table.
+
+        Called implicitly by :meth:`select`; feedback for a pair that
+        was never selected is ignored, so explicit registration only
+        matters when feeding observations from outside a simulation.
+        """
+        key = (src_host, dst_host)
+        idx = self._index.get(key)
+        if idx is None or len(idx) != len(alternatives):
+            self._index[key] = {id(r): i
+                                for i, r in enumerate(alternatives)}
+            self._ewma[key] = [None] * len(alternatives)
+        return self._ewma[key]
+
+    def select(self, src_host: int, dst_host: int,
+               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+        ewma = self.register(src_host, dst_host, alternatives)
+        if self._rng.random() < self.epsilon:
+            return alternatives[self._rng.randrange(len(alternatives))]
+        # optimistic: any never-tried alternative first, else lowest EWMA
+        best = min(range(len(alternatives)),
+                   key=lambda i: (ewma[i] is not None, ewma[i] or 0))
+        return alternatives[best]
+
+    def feedback(self, pkt) -> None:
+        key = (pkt.src_host, pkt.dst_host)
+        idx = self._index.get(key)
+        if idx is None:
+            return
+        i = idx.get(id(pkt.route))
+        if i is None:
+            return
+        lat = pkt.network_latency_ps()
+        ewma = self._ewma[key]
+        ewma[i] = (lat if ewma[i] is None
+                   else (1 - self.alpha) * ewma[i] + self.alpha * lat)
+
+
+def make_policy(name: str, seed: int = 0) -> PathSelectionPolicy:
+    """Instantiate a policy by its config name
+    (``sp``/``rr``/``random``/``adaptive``)."""
+    if name == "sp":
+        return SinglePathPolicy()
+    if name == "rr":
+        return RoundRobinPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    if name == "adaptive":
+        return AdaptivePolicy(seed)
+    raise ValueError(f"unknown path selection policy {name!r}")

@@ -1,0 +1,129 @@
+"""Source-route representation.
+
+A Myrinet source route is the ordered list of output-port selections the
+packet header carries.  For our purposes a route between two *switches*
+is a sequence of :class:`RouteLeg` objects:
+
+* a plain up*/down* route is a single leg;
+* an in-transit-buffer route has one leg per deadlock-free sub-path, with
+  an **in-transit host** between consecutive legs where the packet is
+  ejected and re-injected (the ITB mark of Section 3).
+
+Routes are computed at switch granularity (all hosts of a switch share
+the same switch-level paths); the NIC layer prepends/appends the host
+cables at simulation time.
+
+Legs store both the switch sequence and the link ids so that the
+simulator can map hops onto directed channels without re-deriving them,
+and so analysis code can attribute utilisation to physical cables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..topology.graph import NetworkGraph
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """One deadlock-free sub-path: ``switches[i] -> switches[i+1]`` over
+    ``links[i]``.  A leg with a single switch and no links is valid (the
+    source and target of the leg share a switch)."""
+
+    switches: Tuple[int, ...]
+    links: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.switches:
+            raise ValueError("a leg must contain at least one switch")
+        if len(self.links) != len(self.switches) - 1:
+            raise ValueError(
+                f"leg with {len(self.switches)} switches needs "
+                f"{len(self.switches) - 1} links, got {len(self.links)}")
+
+    @property
+    def hops(self) -> int:
+        """Number of inter-switch cables crossed."""
+        return len(self.links)
+
+    @property
+    def start(self) -> int:
+        return self.switches[0]
+
+    @property
+    def end(self) -> int:
+        return self.switches[-1]
+
+    @staticmethod
+    def from_switch_path(g: NetworkGraph, path: Tuple[int, ...]) -> "RouteLeg":
+        """Build a leg from a switch sequence, resolving link ids."""
+        links = []
+        for a, b in zip(path, path[1:]):
+            lid = g.link_between(a, b)
+            if lid is None:
+                raise ValueError(f"switches {a} and {b} are not linked")
+            links.append(lid)
+        return RouteLeg(tuple(path), tuple(links))
+
+
+@dataclass(frozen=True)
+class SourceRoute:
+    """A complete switch-to-switch route, possibly via in-transit hosts.
+
+    ``itb_hosts[i]`` is the host where the packet is ejected between
+    ``legs[i]`` and ``legs[i+1]``; it must be attached to
+    ``legs[i].end == legs[i+1].start``.
+    """
+
+    legs: Tuple[RouteLeg, ...]
+    itb_hosts: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.legs:
+            raise ValueError("a route needs at least one leg")
+        if len(self.itb_hosts) != len(self.legs) - 1:
+            raise ValueError(
+                f"{len(self.legs)} legs need {len(self.legs) - 1} "
+                f"in-transit hosts, got {len(self.itb_hosts)}")
+        for prev, nxt in zip(self.legs, self.legs[1:]):
+            if prev.end != nxt.start:
+                raise ValueError(
+                    f"legs do not chain: {prev.end} != {nxt.start}")
+
+    @property
+    def src(self) -> int:
+        return self.legs[0].start
+
+    @property
+    def dst(self) -> int:
+        return self.legs[-1].end
+
+    @property
+    def num_itbs(self) -> int:
+        """Number of in-transit buffer hops (ejection/re-injection points)."""
+        return len(self.itb_hosts)
+
+    @property
+    def switch_hops(self) -> int:
+        """Total inter-switch cables crossed, summed over legs."""
+        return sum(leg.hops for leg in self.legs)
+
+    @property
+    def switch_path(self) -> Tuple[int, ...]:
+        """Flattened switch sequence (in-transit switches appear once)."""
+        path = list(self.legs[0].switches)
+        for leg in self.legs[1:]:
+            path.extend(leg.switches[1:])
+        return tuple(path)
+
+    def iter_links(self) -> Iterator[int]:
+        """All link ids crossed, in order."""
+        for leg in self.legs:
+            yield from leg.links
+
+    @staticmethod
+    def single_leg(g: NetworkGraph, path: Tuple[int, ...]) -> "SourceRoute":
+        """Convenience: a route that is one plain up*/down* path."""
+        return SourceRoute((RouteLeg.from_switch_path(g, path),))

@@ -1,0 +1,104 @@
+"""Reimplementation of Myricom's ``simple_routes`` route selection.
+
+The paper's UP/DOWN baseline uses the routes produced by the
+``simple_routes`` program shipped with GM (Section 4.5): one valid
+up*/down* path per source-destination pair, selected so as to *balance
+traffic* across links via link weights -- possibly choosing a
+non-minimal up*/down* path over an available minimal one when the
+minimal one is hot.
+
+Our implementation follows that description:
+
+1. for every ordered switch pair, enumerate candidate legal up*/down*
+   paths with length up to the shortest legal distance plus
+   ``length_slack`` (bounded enumeration, see
+   :func:`repro.routing.updown.enumerate_legal_paths`);
+2. process pairs in a deterministic order and greedily pick, per pair,
+   the candidate minimising ``(total link weight, length, path)``;
+3. add one unit of weight to every link of the chosen path (each pair
+   carries the same offered load under the paper's traffic model).
+
+The greedy weighted selection reproduces the two properties the paper
+relies on: routes concentrate around the spanning-tree root (the
+up*/down* structure forces this) while being as spread as the rule
+allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology.graph import NetworkGraph
+from .updown import UpDownOrientation, enumerate_legal_paths, legal_shortest_distances
+
+
+def compute_simple_routes(g: NetworkGraph, ud: UpDownOrientation,
+                          length_slack: int = 1,
+                          max_candidates: int = 32,
+                          prefer_minimal: bool = True,
+                          ) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+    """One balanced legal up*/down* path per ordered switch pair.
+
+    Returns a dict ``(src, dst) -> switch path`` covering every ordered
+    pair of distinct switches (plus the trivial ``(s, s) -> (s,)``
+    entries, which hosts sharing a switch use).
+
+    With ``prefer_minimal`` (default) the shortest legal candidates win
+    and the link weights only break ties among them; this reproduces the
+    minimal-path fractions the paper reports for simple_routes (80 % on
+    the 8x8 torus, 94 % on the express torus -- exactly the fraction of
+    pairs that have a legal minimal path at all).  ``prefer_minimal=
+    False`` puts accumulated weight first, allowing longer paths purely
+    for balance (the behaviour the paper alludes to with "it may happen
+    that the simple_routes program selects a non-minimal up*/down*
+    path"); the ablation benches compare both.
+    """
+    if length_slack < 0:
+        raise ValueError("length_slack must be >= 0")
+    weight = [0] * g.num_links
+    routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    legal_dist = [legal_shortest_distances(g, ud, s) for s in g.switches()]
+
+    # Deterministic pair order.  Interleaving by destination (rather than
+    # iterating all destinations of switch 0 first) avoids systematically
+    # biasing early, low-weight picks toward low-id sources.
+    pairs = sorted(((src, dst) for src in g.switches() for dst in g.switches()
+                    if src != dst),
+                   key=lambda p: ((p[0] + p[1]) % g.num_switches, p[0], p[1]))
+
+    for src, dst in pairs:
+        # shortest legal candidates first (the bounded DFS with slack
+        # may otherwise hit its cap on slack-length paths only), then
+        # longer ones for balancing diversity
+        shortest = enumerate_legal_paths(g, ud, src, dst,
+                                         legal_dist[src][dst],
+                                         max_paths=max_candidates)
+        cands = list(shortest)
+        if length_slack > 0:
+            seen = set(cands)
+            extra = enumerate_legal_paths(
+                g, ud, src, dst, legal_dist[src][dst] + length_slack,
+                max_paths=max_candidates)
+            cands.extend(p for p in extra if p not in seen)
+        if not cands:  # cannot happen on a connected graph
+            raise RuntimeError(f"no legal up*/down* path {src}->{dst}")
+        best = None
+        best_key = None
+        for path in cands:
+            w = 0
+            for a, b in zip(path, path[1:]):
+                w += weight[g.link_between(a, b)]  # type: ignore[index]
+            key = ((len(path), w, path) if prefer_minimal
+                   else (w, len(path), path))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = path
+        assert best is not None
+        routes[(src, dst)] = best
+        for a, b in zip(best, best[1:]):
+            weight[g.link_between(a, b)] += 1  # type: ignore[index]
+
+    for s in g.switches():
+        routes[(s, s)] = (s,)
+    return routes

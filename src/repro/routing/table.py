@@ -1,0 +1,92 @@
+"""Routing tables: per-pair route alternatives for a whole network.
+
+Myrinet NICs hold a routing table with one or more entries per
+destination (Section 4.5); the paper caps alternatives at 10.  We compute
+tables at switch granularity -- all hosts attached to a switch share its
+switch-level paths -- and let the NIC layer add the host cables.
+
+Two schemes are supported:
+
+* ``"updown"`` -- the UP/DOWN baseline: exactly one route per pair, the
+  balanced path chosen by the ``simple_routes`` reimplementation;
+* ``"itb"``    -- minimal routing with in-transit buffers: up to
+  ``max_routes_per_pair`` minimal alternatives, each split into legal
+  legs joined at in-transit hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..topology.graph import NetworkGraph
+from .itb import build_itb_routes
+from .routes import SourceRoute
+from .simple_routes import compute_simple_routes
+from .spanning_tree import build_spanning_tree
+from .updown import UpDownOrientation, orient_links
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """All routes of one network under one scheme."""
+
+    scheme: str
+    root: int
+    orientation: UpDownOrientation
+    routes: Dict[Tuple[int, int], Tuple[SourceRoute, ...]]
+
+    def alternatives(self, src_switch: int, dst_switch: int
+                     ) -> Tuple[SourceRoute, ...]:
+        """Route alternatives for an ordered switch pair."""
+        return self.routes[(src_switch, dst_switch)]
+
+    def max_alternatives(self) -> int:
+        return max(len(alts) for alts in self.routes.values())
+
+    def validate(self, g: NetworkGraph) -> None:
+        """Assert structural soundness of every route.
+
+        Checks: endpoints match the pair key, legs chain through valid
+        links, every leg individually satisfies the up*/down* rule, and
+        in-transit hosts sit on the leg-boundary switches.  This is the
+        deadlock-freedom argument of Section 3 made executable.
+        """
+        for (src, dst), alts in self.routes.items():
+            assert alts, f"no route for pair ({src}, {dst})"
+            for route in alts:
+                assert route.src == src and route.dst == dst, (
+                    f"route endpoints {route.src}->{route.dst} do not match "
+                    f"pair ({src}, {dst})")
+                for leg in route.legs:
+                    assert self.orientation.path_is_legal(g, leg.switches), (
+                        f"illegal leg {leg.switches} in route {src}->{dst}")
+                for host, (prev, nxt) in zip(route.itb_hosts,
+                                             zip(route.legs, route.legs[1:])):
+                    assert g.host_switch(host) == prev.end == nxt.start, (
+                        f"in-transit host {host} not at boundary switch of "
+                        f"route {src}->{dst}")
+
+
+def compute_tables(g: NetworkGraph, scheme: str, root: int = 0,
+                   max_routes_per_pair: int = 10,
+                   sort_by_itbs: bool = False) -> RoutingTables:
+    """Compute routing tables for ``g`` under ``scheme``.
+
+    This is the entry point used by the experiment runner; results are
+    deterministic for a given (graph, scheme, root).  ``sort_by_itbs``
+    reorders ITB alternatives so the SP policy uses the fewest in-transit
+    hops (an extension studied in the ablation benches; the paper's SP
+    does not optimise this).
+    """
+    tree = build_spanning_tree(g, root)
+    ud = orient_links(g, root, tree)
+    if scheme == "updown":
+        paths = compute_simple_routes(g, ud)
+        routes = {pair: (SourceRoute.single_leg(g, path),)
+                  for pair, path in paths.items()}
+    elif scheme == "itb":
+        routes = build_itb_routes(g, ud, max_routes_per_pair, sort_by_itbs)
+    else:
+        raise ValueError(f"unknown routing scheme {scheme!r}")
+    return RoutingTables(scheme, root, ud, routes)

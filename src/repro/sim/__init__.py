@@ -1,0 +1,28 @@
+"""Discrete-event simulation of Myrinet-style source-routed networks.
+
+Two engines share the same topology/routing substrate:
+
+* :mod:`network` -- the **packet-level wormhole model** used for all
+  paper-scale experiments.  Packets acquire output ports hop by hop
+  (150 ns routing, demand-slotted round-robin arbitration) and hold every
+  channel of the current leg until the tail drains; in-transit hosts
+  eject and re-inject packets with the measured 275 ns + 200 ns
+  overheads.
+* :mod:`flitlevel` -- a **flit-level model** with explicit 80-byte slack
+  buffers and the 56/40-byte stop&go protocol; much slower, used to
+  validate the packet-level approximation on small networks.
+
+:mod:`engine` provides the shared event queue.
+"""
+
+from __future__ import annotations
+
+from .engine import Simulator, DeadlockError
+from .packet import Packet
+from .network import WormholeNetwork
+from .flitlevel import FlitLevelNetwork
+from .trace import PacketTracer, TraceEvent, format_trace
+
+__all__ = ["Simulator", "DeadlockError", "Packet", "WormholeNetwork",
+           "FlitLevelNetwork", "PacketTracer", "TraceEvent",
+           "format_trace"]

@@ -1,0 +1,94 @@
+"""Demand-slotted round-robin output-port arbitration.
+
+Myrinet switches assign an output port to waiting packets "in a
+demand-slotted round-robin fashion" (Section 4.4): when the port frees,
+the next *input port* with a waiting header (scanning round-robin from
+the last grantee) wins.  Within one input port, packets are strictly
+FIFO -- a wormhole input channel only ever presents one header at a
+time anyway.
+
+NIC injection channels use the same class with a single key, which
+degenerates to plain FIFO (the NIC serialises its own sends and
+re-injections in request order).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+GrantCallback = Callable[[], None]
+
+
+class RoundRobinArbiter:
+    """Grants exclusive ownership of one resource among keyed requesters."""
+
+    __slots__ = ("_queues", "_order", "_key_index", "_last_key",
+                 "_nwaiting", "owner")
+
+    def __init__(self) -> None:
+        self._queues: Dict[Hashable, Deque[Tuple[object, GrantCallback]]] = {}
+        self._order: List[Hashable] = []       # keys in first-seen order
+        self._key_index: Dict[Hashable, int] = {}
+        self._last_key: Optional[Hashable] = None  # key of the last grantee
+        self._nwaiting: int = 0
+        self.owner: Optional[object] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.owner is not None
+
+    def waiting(self) -> int:
+        """Number of queued (ungranted) requests."""
+        return self._nwaiting
+
+    def request(self, key: Hashable, token: object,
+                grant: GrantCallback) -> bool:
+        """Request ownership for ``token`` arriving on input ``key``.
+
+        If the resource is free the grant callback fires synchronously
+        and ``True`` is returned; otherwise the request queues and the
+        callback fires on a later :meth:`release`.
+        """
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = deque()
+            self._key_index[key] = len(self._order)
+            self._order.append(key)
+        if self.owner is None and self._nwaiting == 0:
+            self._grant(key, token, grant)
+            return True
+        q.append((token, grant))
+        self._nwaiting += 1
+        return False
+
+    def _grant(self, key: Hashable, token: object,
+               grant: GrantCallback) -> None:
+        self.owner = token
+        self._last_key = key
+        grant()
+
+    def release(self, token: object) -> None:
+        """Release ownership; the next waiting input (round-robin scan
+        from the last grantee) is granted synchronously."""
+        if self.owner is not token:
+            raise RuntimeError("release by non-owner")
+        self.owner = None
+        if self._nwaiting == 0:
+            return
+        order = self._order
+        n = len(order)
+        # scan round-robin starting just past the last grantee's key,
+        # resolved against the *current* key set (keys may have joined
+        # since the grant)
+        start = ((self._key_index[self._last_key] + 1) % n
+                 if self._last_key is not None else 0)
+        for i in range(n):
+            key = order[(start + i) % n]
+            q = self._queues[key]
+            if q:
+                nxt_token, nxt_grant = q.popleft()
+                self._nwaiting -= 1
+                self._grant(key, nxt_token, nxt_grant)
+                return
+        raise AssertionError("waiting count out of sync with queues")

@@ -1,0 +1,420 @@
+"""Flit-level network engine with explicit slack buffers and stop&go.
+
+This is the high-fidelity counterpart of :mod:`repro.sim.network`.  It
+moves individual flits:
+
+* every directed channel transmits one flit per 6.25 ns flit cycle and
+  has 49.2 ns of wire propagation (so up to 8 flits are in flight);
+* each switch input port owns an 80-byte slack buffer running the
+  hardware stop&go protocol: a *stop* control flit is sent upstream when
+  occupancy crosses 56 bytes and a *go* when it falls below 40 (control
+  flits also take one wire propagation to arrive);
+* output ports arbitrate demand-slotted round-robin among input ports,
+  pay the 150 ns routing delay per packet, then pull flits from the
+  granted input buffer at link rate;
+* NICs serialise injections (own messages and ITB re-injections, FIFO),
+  never stop the delivery channel (ejection always proceeds -- the
+  deadlock-freedom property), recognise in-transit packets 275 ns after
+  the header arrives and are ready to re-inject 200 ns later; the
+  re-injection DMA never outruns reception (cut-through at the NIC).
+
+The engine is O(flits x hops) and therefore only used on small
+networks: the validation tests compare it against the packet-level
+model, bounding the error of the latter's "tail wave" approximation
+(which ignores slack-buffer absorption during stalls).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..config import MyrinetParams
+from ..routing.policies import PathSelectionPolicy
+from ..routing.table import RoutingTables
+from ..topology.graph import NetworkGraph
+from .arbiter import RoundRobinArbiter
+from .engine import DeadlockError, Simulator
+from .packet import Packet
+
+DeliveryCallback = Callable[[Packet], None]
+
+#: a flit in flight: (packet, leg index, first-of-leg, last-of-leg)
+Flit = Tuple[Packet, int, bool, bool]
+
+
+class _Wire:
+    """Directed physical channel: data flits forward, control flits
+    backward, both delayed by the propagation time."""
+
+    __slots__ = ("sim", "prop_ps", "rx", "tx", "flits_carried", "name")
+
+    def __init__(self, sim: Simulator, prop_ps: int, name: str) -> None:
+        self.sim = sim
+        self.prop_ps = prop_ps
+        self.rx: Optional["_RxBuffer"] = None   # downstream receiver
+        self.tx: Optional["_TxPort"] = None     # upstream transmitter
+        self.flits_carried = 0
+        self.name = name
+
+    def send_flit(self, flit: Flit) -> None:
+        self.flits_carried += 1
+        assert self.rx is not None
+        rx = self.rx
+        self.sim.after(self.prop_ps, lambda: rx.receive(flit))
+
+    def send_ctrl(self, stop: bool) -> None:
+        assert self.tx is not None
+        tx = self.tx
+        self.sim.after(self.prop_ps, lambda: tx.set_paused(stop))
+
+
+class _TxPort:
+    """Base of everything that clocks flits onto a wire.
+
+    Subclasses implement :meth:`_next_flit` returning a :data:`Flit` or
+    ``None`` when nothing can be sent right now, and call :meth:`wake`
+    whenever new work may have become available.
+    """
+
+    __slots__ = ("sim", "wire", "params", "paused", "_next_free_ps",
+                 "_pump_scheduled")
+
+    def __init__(self, sim: Simulator, wire: _Wire,
+                 params: MyrinetParams) -> None:
+        self.sim = sim
+        self.wire = wire
+        wire.tx = self
+        self.params = params
+        self.paused = False
+        self._next_free_ps = 0
+        self._pump_scheduled = False
+
+    def set_paused(self, paused: bool) -> None:
+        self.paused = paused
+        if not paused:
+            self.wake()
+
+    def wake(self) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.sim.at(max(self.sim.now, self._next_free_ps), self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if self.paused:
+            return
+        flit = self._next_flit()
+        if flit is None:
+            return
+        self.wire.send_flit(flit)
+        self._next_free_ps = self.sim.now + self.params.flit_cycle_ps
+        self.wake()
+
+    def _next_flit(self) -> Optional[Flit]:
+        raise NotImplementedError
+
+
+class _RxBuffer:
+    """Switch input slack buffer with stop&go, or a NIC receive buffer.
+
+    NIC buffers (``nic >= 0``) are unbounded and never send stop -- the
+    in-transit/delivery DMA always drains the channel, which is exactly
+    the property that makes the ITB mechanism deadlock-free.
+    """
+
+    __slots__ = ("net", "sim", "params", "wire", "switch", "nic",
+                 "occupancy", "stopped", "queue", "channel_key",
+                 "consumer")
+
+    def __init__(self, net: "FlitLevelNetwork", wire: _Wire,
+                 channel_key: int, switch: int = -1, nic: int = -1) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.params = net.params
+        self.wire = wire
+        wire.rx = self
+        self.switch = switch
+        self.nic = nic
+        self.occupancy = 0
+        self.stopped = False
+        self.queue: Deque[Flit] = deque()
+        self.channel_key = channel_key
+        #: output port currently pulling from this buffer (switch only)
+        self.consumer: Optional["_OutputPort"] = None
+
+    def receive(self, flit: Flit) -> None:
+        if self.nic >= 0:
+            self.net._nic_flit_received(self.nic, flit)
+            return
+        pkt, leg_idx, first, _last = flit
+        self.queue.append(flit)
+        self.occupancy += 1
+        if self.occupancy > self.params.slack_buffer_bytes:
+            raise AssertionError(
+                f"slack buffer overflow at switch {self.switch} "
+                f"(stop&go failed to pace the sender)")
+        if (not self.stopped
+                and self.occupancy >= self.params.stop_threshold_bytes):
+            self.stopped = True
+            self.wire.send_ctrl(stop=True)
+        if first:
+            self.net._header_at_switch(self, pkt, leg_idx)
+        elif self.consumer is not None:
+            self.consumer.wake()
+
+    def pop_for(self, pkt: Packet) -> Optional[Flit]:
+        """Take the front flit if it belongs to ``pkt``."""
+        if not self.queue or self.queue[0][0] is not pkt:
+            return None
+        flit = self.queue.popleft()
+        self.occupancy -= 1
+        if (self.stopped
+                and self.occupancy < self.params.go_threshold_bytes):
+            self.stopped = False
+            self.wire.send_ctrl(stop=False)
+        return flit
+
+    def reset_stats(self) -> None:  # occupancy is state, nothing to reset
+        pass
+
+
+class _OutputPort(_TxPort):
+    """Switch output port: RR arbitration + routing delay + pull loop."""
+
+    __slots__ = ("arbiter", "packet", "src_buffer", "granted_ps",
+                 "reserved_ps")
+
+    def __init__(self, sim: Simulator, wire: _Wire,
+                 params: MyrinetParams) -> None:
+        super().__init__(sim, wire, params)
+        self.arbiter = RoundRobinArbiter()
+        self.packet: Optional[Packet] = None
+        self.src_buffer: Optional[_RxBuffer] = None
+        self.granted_ps = 0
+        self.reserved_ps = 0
+
+    def request(self, buf: _RxBuffer, pkt: Packet) -> None:
+        self.arbiter.request(buf.channel_key, pkt,
+                             lambda: self._granted(buf, pkt))
+
+    def _granted(self, buf: _RxBuffer, pkt: Packet) -> None:
+        self.packet = pkt
+        self.src_buffer = buf
+        buf.consumer = self
+        self.granted_ps = self.sim.now
+        # first flit pays the routing decision latency
+        self._next_free_ps = max(self._next_free_ps,
+                                 self.sim.now + self.params.routing_delay_ps)
+        self.wake()
+
+    def _next_flit(self) -> Optional[Flit]:
+        if self.packet is None or self.src_buffer is None:
+            return None
+        flit = self.src_buffer.pop_for(self.packet)
+        if flit is None:
+            return None
+        if flit[3]:  # last flit of the packet on this port
+            self._release()
+        return flit
+
+    def _release(self) -> None:
+        pkt = self.packet
+        assert pkt is not None and self.src_buffer is not None
+        self.reserved_ps += self.sim.now - self.granted_ps
+        self.src_buffer.consumer = None
+        self.packet = None
+        self.src_buffer = None
+        self.arbiter.release(pkt)
+
+
+class _NicInjector(_TxPort):
+    """NIC send side: FIFO of pending sends, cut-through aware."""
+
+    __slots__ = ("net", "host", "jobs")
+
+    def __init__(self, net: "FlitLevelNetwork", host: int,
+                 wire: _Wire) -> None:
+        super().__init__(net.sim, wire, net.params)
+        self.net = net
+        self.host = host
+        #: FIFO of [pkt, leg_idx, flits_sent]
+        self.jobs: Deque[List] = deque()
+
+    def enqueue(self, pkt: Packet, leg_idx: int) -> None:
+        self.jobs.append([pkt, leg_idx, 0])
+        self.wake()
+
+    def _next_flit(self) -> Optional[Flit]:
+        while self.jobs:
+            job = self.jobs[0]
+            pkt, leg_idx, sent = job
+            wire_len = pkt.wire_bytes(leg_idx)
+            if sent >= wire_len:
+                self.jobs.popleft()
+                if leg_idx > 0:
+                    self.net._itb_done(pkt, leg_idx - 1)
+                continue
+            if leg_idx > 0:
+                # re-injection must not outrun reception of the
+                # previous leg (cut-through at the NIC)
+                received = self.net._itb_received(pkt, leg_idx - 1)
+                if sent >= received:
+                    return None  # woken by the next received flit
+            job[2] = sent + 1
+            first = sent == 0
+            last = sent + 1 >= wire_len
+            if leg_idx == 0 and first and pkt.injected_ps is None:
+                pkt.injected_ps = self.sim.now
+            return pkt, leg_idx, first, last
+        return None
+
+
+class FlitLevelNetwork:
+    """Flit-accurate counterpart of
+    :class:`~repro.sim.network.WormholeNetwork` (same public surface for
+    sending, delivery callbacks and the deadlock watchdog)."""
+
+    def __init__(self, sim: Simulator, graph: NetworkGraph,
+                 tables: RoutingTables, policy: PathSelectionPolicy,
+                 params: MyrinetParams, message_bytes: int = 512) -> None:
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.sim = sim
+        self.graph = graph
+        self.tables = tables
+        self.policy = policy
+        self.params = params
+        self.message_bytes = message_bytes
+
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_since_check = 0
+        self._next_pid = 0
+        self._delivery_callbacks: List[DeliveryCallback] = []
+
+        #: per (pid, leg): flits of that leg received at its ITB host
+        self._itb_rx: Dict[Tuple[int, int], int] = {}
+
+        self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        g = self.graph
+        p = self.params
+        sim = self.sim
+        self._out_ports: Dict[Tuple, _OutputPort] = {}
+        self._injectors: List[_NicInjector] = []
+        self._wires: List[_Wire] = []
+        key = 0
+
+        def wire(name: str) -> _Wire:
+            w = _Wire(sim, p.link_prop_ps, name)
+            self._wires.append(w)
+            return w
+
+        for link in g.links:
+            for frm, to in ((link.a, link.b), (link.b, link.a)):
+                w = wire(f"net{link.id}:{frm}->{to}")
+                self._out_ports[(frm, to)] = _OutputPort(sim, w, p)
+                _RxBuffer(self, w, channel_key=key, switch=to)
+                key += 1
+        for host in g.hosts:
+            w_in = wire(f"inj{host.id}")
+            self._injectors.append(_NicInjector(self, host.id, w_in))
+            _RxBuffer(self, w_in, channel_key=key, switch=host.switch)
+            key += 1
+            w_out = wire(f"dlv{host.id}")
+            self._out_ports[("dlv", host.id)] = _OutputPort(sim, w_out, p)
+            _RxBuffer(self, w_out, channel_key=key, nic=host.id)
+            key += 1
+
+    # -- public API --------------------------------------------------------
+
+    def add_delivery_callback(self, cb: DeliveryCallback) -> None:
+        self._delivery_callbacks.append(cb)
+
+    @property
+    def in_flight(self) -> int:
+        return self.generated - self.delivered
+
+    def install_watchdog(self, interval_ps: int) -> None:
+        def check() -> None:
+            if self.in_flight > 0 and self.delivered_since_check == 0:
+                raise DeadlockError(
+                    f"flit-level: no delivery for {interval_ps} ps with "
+                    f"{self.in_flight} packets in flight")
+            self.delivered_since_check = 0
+        self.sim.set_watchdog(interval_ps, check)
+
+    def reset_stats(self) -> None:
+        """End-of-warm-up reset (wire counters and port reservations)."""
+        for w in self._wires:
+            w.flits_carried = 0
+        for port in self._out_ports.values():
+            port.reserved_ps = 0
+
+    def send(self, src_host: int, dst_host: int,
+             nbytes: Optional[int] = None) -> Packet:
+        if src_host == dst_host:
+            raise ValueError("a host does not send messages to itself")
+        src_sw = self.graph.host_switch(src_host)
+        dst_sw = self.graph.host_switch(dst_host)
+        alts = self.tables.alternatives(src_sw, dst_sw)
+        route = (alts[0] if len(alts) == 1
+                 else self.policy.select(src_host, dst_host, alts))
+        pkt = Packet(self._next_pid, src_host, dst_host,
+                     nbytes if nbytes is not None else self.message_bytes,
+                     route, self.sim.now, self.params)
+        self._next_pid += 1
+        self.generated += 1
+        self._injectors[src_host].enqueue(pkt, 0)
+        return pkt
+
+    # -- internal event handlers -------------------------------------------
+
+    def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
+        if leg_idx == pkt.num_legs - 1:
+            return pkt.dst_host
+        return pkt.route.itb_hosts[leg_idx]
+
+    def _header_at_switch(self, buf: _RxBuffer, pkt: Packet,
+                          leg_idx: int) -> None:
+        leg = pkt.route.legs[leg_idx]
+        sw = buf.switch
+        pos = leg.switches.index(sw)
+        if pos == len(leg.switches) - 1:
+            port = self._out_ports[("dlv",
+                                    self._leg_target_host(pkt, leg_idx))]
+        else:
+            port = self._out_ports[(sw, leg.switches[pos + 1])]
+        port.request(buf, pkt)
+
+    def _itb_received(self, pkt: Packet, leg_idx: int) -> int:
+        return self._itb_rx.get((pkt.pid, leg_idx), 0)
+
+    def _itb_done(self, pkt: Packet, leg_idx: int) -> None:
+        self._itb_rx.pop((pkt.pid, leg_idx), None)
+
+    def _nic_flit_received(self, nic: int, flit: Flit) -> None:
+        pkt, leg_idx, first, last = flit
+        if leg_idx == pkt.num_legs - 1:
+            if last:
+                pkt.delivered_ps = self.sim.now
+                self.delivered += 1
+                self.delivered_since_check += 1
+                for cb in self._delivery_callbacks:
+                    cb(pkt)
+            return
+        # in-transit: count availability for the cut-through re-injection
+        key = (pkt.pid, leg_idx)
+        self._itb_rx[key] = self._itb_rx.get(key, 0) + 1
+        injector = self._injectors[nic]
+        if first:
+            delay = self.params.itb_detect_ps + self.params.itb_dma_setup_ps
+            self.sim.after(delay,
+                           lambda: injector.enqueue(pkt, leg_idx + 1))
+        else:
+            injector.wake()

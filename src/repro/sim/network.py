@@ -1,0 +1,350 @@
+"""Packet-level wormhole network model (the paper-scale engine).
+
+The model follows Myrinet cut-through switching without virtual
+channels (Sections 4.3--4.5):
+
+* A packet acquires directed channels hop by hop.  Output ports are
+  granted by demand-slotted round-robin arbiters; a granted header pays
+  the 150 ns routing delay, then the head moves one cable (49.2 ns) to
+  the next switch.  While the head waits for a busy port, every channel
+  already acquired stays held -- the defining wormhole blocking
+  behaviour (slack buffers are far smaller than the 512-byte packets).
+* Once the head reaches a NIC (destination or in-transit host) no
+  further stalls are possible, so the worm streams at link rate: the
+  tail reaches the NIC ``wire_bytes`` flit cycles after the head, and it
+  passes earlier channels one cable-propagation earlier per hop.  This
+  "tail wave" is the only approximation versus the flit-level engine
+  (:mod:`repro.sim.flitlevel`): absorption into the 80-byte slack
+  buffers during intermediate stalls is ignored, which *overestimates*
+  channel hold times by up to one slack buffer per hop for every
+  routing algorithm alike (quantified in the validation tests).
+* At an in-transit host the packet is fully ejected (ejection never
+  blocks -- this is what breaks the down->up channel dependencies and
+  makes the scheme deadlock-free), recognised after 275 ns, and its
+  re-injection DMA is ready 200 ns later; it then competes for the
+  NIC's injection channel like any locally generated packet.
+
+Deliberately *mis-routed* configurations (e.g. minimal routing on a
+torus without ITBs) can deadlock; a progress watchdog turns that into a
+:class:`~repro.sim.engine.DeadlockError` instead of a hang, and tests
+exercise exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import MyrinetParams
+from ..routing.policies import PathSelectionPolicy
+from ..routing.routes import SourceRoute
+from ..routing.table import RoutingTables
+from ..topology.graph import NetworkGraph
+from .channel import Channel, DEL, INJ, NET
+from .engine import DeadlockError, Simulator
+from .nic import Nic
+from .packet import Packet
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+class _LegTransit:
+    """Mutable per-leg traversal state of one packet."""
+
+    __slots__ = ("pkt", "leg_idx", "holds", "pool_host", "pool_bytes",
+                 "short", "tail_cross_ps")
+
+    def __init__(self, pkt: Packet, leg_idx: int,
+                 pool_host: int = -1, pool_bytes: int = 0,
+                 short: bool = False) -> None:
+        self.pkt = pkt
+        self.leg_idx = leg_idx
+        #: channels acquired so far: (channel, grant_time_ps)
+        self.holds: List[Tuple[Channel, int]] = []
+        #: NIC whose in-transit pool must be credited when the
+        #: injection channel of this leg is released (-1 = none)
+        self.pool_host = pool_host
+        self.pool_bytes = pool_bytes
+        #: packet fits in one slack buffer -> virtual-cut-through regime
+        self.short = short
+        #: time the tail crossed the most recently granted channel
+        #: (short regime only; drives early upstream releases)
+        self.tail_cross_ps = 0
+
+
+class WormholeNetwork:
+    """Wires a topology + routing tables into a running simulation."""
+
+    def __init__(self, sim: Simulator, graph: NetworkGraph,
+                 tables: RoutingTables, policy: PathSelectionPolicy,
+                 params: MyrinetParams, message_bytes: int = 512) -> None:
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.sim = sim
+        self.graph = graph
+        self.tables = tables
+        self.policy = policy
+        self.params = params
+        self.message_bytes = message_bytes
+
+        self.channels: List[Channel] = []
+        #: (link_id, 0 for a->b / 1 for b->a) -> NET channel
+        self._net: Dict[Tuple[int, int], Channel] = {}
+        self.nics: List[Nic] = []
+        self._build_channels()
+
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_since_check = 0
+        self._next_pid = 0
+        self._delivery_callbacks: List[DeliveryCallback] = []
+        #: optional :class:`~repro.sim.trace.PacketTracer`
+        self.tracer = None
+
+    # -- construction ------------------------------------------------------
+
+    def _new_channel(self, kind: int, src: int, dst: int,
+                     link_id: int = -1) -> Channel:
+        ch = Channel(len(self.channels), kind, src, dst, link_id)
+        self.channels.append(ch)
+        return ch
+
+    def _build_channels(self) -> None:
+        g = self.graph
+        for link in g.links:
+            self._net[(link.id, 0)] = self._new_channel(NET, link.a, link.b,
+                                                        link.id)
+            self._net[(link.id, 1)] = self._new_channel(NET, link.b, link.a,
+                                                        link.id)
+        for host in g.hosts:
+            inj = self._new_channel(INJ, host.id, host.switch)
+            dlv = self._new_channel(DEL, host.switch, host.id)
+            self.nics.append(Nic(host.id, host.switch, inj, dlv))
+
+    def net_channel(self, link_id: int, frm: int) -> Channel:
+        """The NET channel of cable ``link_id`` leaving switch ``frm``."""
+        link = self.graph.links[link_id]
+        return self._net[(link_id, 0 if frm == link.a else 1)]
+
+    # -- public API ----------------------------------------------------------
+
+    def add_delivery_callback(self, cb: DeliveryCallback) -> None:
+        """``cb(packet)`` runs at the instant a packet is fully delivered."""
+        self._delivery_callbacks.append(cb)
+
+    def send(self, src_host: int, dst_host: int,
+             nbytes: int | None = None) -> Packet:
+        """Hand a message to ``src_host``'s NIC at the current sim time.
+
+        ``nbytes`` overrides the network's default message size (the
+        paper uses one fixed size per simulation).
+        """
+        if src_host == dst_host:
+            raise ValueError("a host does not send messages to itself")
+        route = self._select_route(src_host, dst_host)
+        pkt = Packet(self._next_pid, src_host, dst_host,
+                     nbytes if nbytes is not None else self.message_bytes,
+                     route, self.sim.now, self.params)
+        self._next_pid += 1
+        self.generated += 1
+        self._start_leg(pkt, 0, self.sim.now)
+        return pkt
+
+    @property
+    def in_flight(self) -> int:
+        return self.generated - self.delivered
+
+    def install_watchdog(self, interval_ps: int) -> None:
+        """Abort with :class:`DeadlockError` when packets are in flight
+        but nothing was delivered for a whole ``interval_ps``."""
+        def check() -> None:
+            if self.in_flight > 0 and self.delivered_since_check == 0:
+                raise DeadlockError(
+                    f"no delivery for {interval_ps} ps with "
+                    f"{self.in_flight} packets in flight at t={self.sim.now}")
+            self.delivered_since_check = 0
+        self.sim.set_watchdog(interval_ps, check)
+
+    def reset_stats(self) -> None:
+        """End-of-warm-up reset of channel and NIC statistics."""
+        for ch in self.channels:
+            ch.reset_stats()
+        for nic in self.nics:
+            nic.reset_stats()
+
+    # -- route selection -----------------------------------------------------
+
+    def _select_route(self, src_host: int, dst_host: int) -> SourceRoute:
+        src_sw = self.graph.host_switch(src_host)
+        dst_sw = self.graph.host_switch(dst_host)
+        alts = self.tables.alternatives(src_sw, dst_sw)
+        if len(alts) == 1:
+            return alts[0]
+        return self.policy.select(src_host, dst_host, alts)
+
+    # -- packet progression ---------------------------------------------------
+
+    def _start_leg(self, pkt: Packet, leg_idx: int, t_ready: int,
+                   pool_host: int = -1, pool_bytes: int = 0) -> None:
+        """Queue the packet for (re-)injection at ``t_ready``."""
+        short = (pkt.wire_bytes(leg_idx)
+                 <= self.params.slack_buffer_bytes)
+        transit = _LegTransit(pkt, leg_idx, pool_host, pool_bytes, short)
+        if leg_idx == 0:
+            host = pkt.src_host
+        else:
+            host = pkt.route.itb_hosts[leg_idx - 1]
+        inj = self.nics[host].inj
+
+        def do_request() -> None:
+            inj.arbiter.request(0, pkt,
+                                lambda: self._injection_granted(transit, inj))
+
+        if t_ready <= self.sim.now:
+            do_request()
+        else:
+            self.sim.at(t_ready, do_request)
+
+    def _injection_granted(self, transit: _LegTransit, inj: Channel) -> None:
+        g = self.sim.now
+        transit.holds.append((inj, g))
+        pkt = transit.pkt
+        if transit.leg_idx == 0 and pkt.injected_ps is None:
+            pkt.injected_ps = g
+        if self.tracer is not None:
+            self.tracer.record(g, "inject" if transit.leg_idx == 0
+                               else "reinject", pkt.pid, inj.src,
+                               transit.leg_idx)
+        if transit.short:
+            # whole packet leaves the NIC wire-length flit cycles later
+            transit.tail_cross_ps = (g + pkt.wire_bytes(transit.leg_idx)
+                                     * self.params.flit_cycle_ps)
+        self.sim.at(g + self.params.link_prop_ps,
+                    lambda: self._head_at_switch(transit, 0))
+
+    def _head_at_switch(self, transit: _LegTransit, pos: int) -> None:
+        """Packet header reaches position ``pos`` of the leg's switch path
+        and requests the next output port."""
+        pkt = transit.pkt
+        leg = pkt.route.legs[transit.leg_idx]
+        last = len(leg.switches) - 1
+        if pos == last:
+            target = self._leg_target_host(pkt, transit.leg_idx)
+            out = self.nics[target].dlv
+        else:
+            out = self.net_channel(leg.links[pos], leg.switches[pos])
+        in_key = transit.holds[-1][0].cid  # demand-slotted RR per input port
+        out.arbiter.request(
+            in_key, pkt, lambda: self._port_granted(transit, pos, out))
+
+    def _port_granted(self, transit: _LegTransit, pos: int,
+                      out: Channel) -> None:
+        g = self.sim.now
+        transit.holds.append((out, g))
+        if self.tracer is not None:
+            self.tracer.record(g, "grant", transit.pkt.pid, out.src,
+                               transit.leg_idx)
+        if transit.short:
+            # virtual-cut-through regime: the whole packet fits in the
+            # slack buffer just vacated, so the channel *behind* it can
+            # be released as soon as the tail has drained forward --
+            # the tail crosses this channel once the head may stream
+            # (after routing) and the upstream buffer has emptied.
+            pkt = transit.pkt
+            wire = pkt.wire_bytes(transit.leg_idx)
+            cross = max(transit.tail_cross_ps + self.params.link_prop_ps,
+                        g + self.params.routing_delay_ps
+                        + wire * self.params.flit_cycle_ps)
+            transit.tail_cross_ps = cross
+            prev_idx = len(transit.holds) - 2
+            prev_ch, prev_g = transit.holds[prev_idx]
+            if prev_idx == 0 and transit.pool_host >= 0:
+                self._schedule_release(prev_ch, pkt, wire, prev_g, cross,
+                                       transit.pool_host,
+                                       transit.pool_bytes)
+            else:
+                self._schedule_release(prev_ch, pkt, wire, prev_g, cross)
+        t_next = g + self.params.routing_delay_ps + self.params.link_prop_ps
+        if out.kind == NET:
+            self.sim.at(t_next, lambda: self._head_at_switch(transit, pos + 1))
+        else:
+            self.sim.at(t_next, lambda: self._head_at_nic(transit))
+
+    def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
+        if leg_idx == pkt.num_legs - 1:
+            return pkt.dst_host
+        return pkt.route.itb_hosts[leg_idx]
+
+    def _head_at_nic(self, transit: _LegTransit) -> None:
+        """Header fully at the leg's target NIC; compute the tail wave,
+        schedule channel releases, and deliver or forward."""
+        sim = self.sim
+        pkt = transit.pkt
+        params = self.params
+        t_head = sim.now
+        wire = pkt.wire_bytes(transit.leg_idx)
+        holds = transit.holds
+        n = len(holds)
+        prop = params.link_prop_ps
+
+        if transit.short:
+            # virtual-cut-through regime: every channel but the last was
+            # already released as the tail drained forward; only the
+            # final (delivery) channel remains.
+            t_tail = transit.tail_cross_ps + prop
+            ch, g = holds[-1]
+            if n == 1 and transit.pool_host >= 0:
+                self._schedule_release(ch, pkt, wire, g, t_tail,
+                                       transit.pool_host,
+                                       transit.pool_bytes)
+            else:
+                self._schedule_release(ch, pkt, wire, g, t_tail)
+        else:
+            # wormhole regime: the worm held its whole path; the tail
+            # wave sweeps the releases from source to NIC.
+            t_tail = t_head + wire * params.flit_cycle_ps
+            for j, (ch, g) in enumerate(holds):
+                rel = max(t_tail - (n - 1 - j) * prop, g + wire *
+                          params.flit_cycle_ps, sim.now)
+                if j == 0 and transit.pool_host >= 0:
+                    self._schedule_release(ch, pkt, wire, g, rel,
+                                           transit.pool_host,
+                                           transit.pool_bytes)
+                else:
+                    self._schedule_release(ch, pkt, wire, g, rel)
+
+        last_leg = transit.leg_idx == pkt.num_legs - 1
+        if last_leg:
+            sim.at(t_tail, lambda: self._delivered(pkt, t_tail))
+        else:
+            host = pkt.route.itb_hosts[transit.leg_idx]
+            if self.tracer is not None:
+                self.tracer.record(t_head, "eject", pkt.pid, host,
+                                   transit.leg_idx)
+            nic = self.nics[host]
+            fits = nic.itb_admit(wire, params.itb_pool_bytes)
+            t_ready = t_head + params.itb_detect_ps + params.itb_dma_setup_ps
+            if not fits:
+                pkt.itb_overflows += 1
+                t_ready += params.itb_overflow_penalty_ps
+            self._start_leg(pkt, transit.leg_idx + 1, t_ready,
+                            pool_host=host, pool_bytes=wire)
+
+    def _schedule_release(self, ch: Channel, pkt: Packet, wire: int,
+                          granted: int, rel: int, pool_host: int = -1,
+                          pool_bytes: int = 0) -> None:
+        def release() -> None:
+            ch.record_passage(wire, granted, rel)
+            if pool_host >= 0:
+                self.nics[pool_host].itb_release(pool_bytes)
+            ch.arbiter.release(pkt)
+        self.sim.at(rel, release)
+
+    def _delivered(self, pkt: Packet, t_tail: int) -> None:
+        pkt.delivered_ps = t_tail
+        self.delivered += 1
+        self.delivered_since_check += 1
+        if self.tracer is not None:
+            self.tracer.record(t_tail, "deliver", pkt.pid, pkt.dst_host,
+                               pkt.num_legs - 1)
+        for cb in self._delivery_callbacks:
+            cb(pkt)

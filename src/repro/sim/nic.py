@@ -1,0 +1,72 @@
+"""Network interface card state: injection serialisation and the
+in-transit buffer pool.
+
+Each host owns one NIC with
+
+* an **injection channel** toward its switch, shared in FIFO order by
+  the host's own messages and by in-transit packets being re-injected;
+* a **delivery channel** from the switch;
+* an **in-transit buffer pool** (90 KB in the paper).  Packets ejected
+  at this NIC occupy pool bytes from head arrival until their
+  re-injected tail has left.  The paper relies on dynamic allocation to
+  emulate infinite buffering; we track occupancy exactly, and when it
+  exceeds the pool size the packet is staged through host memory, which
+  costs :attr:`~repro.config.MyrinetParams.itb_overflow_penalty_ps`
+  extra before re-injection (and is counted, so experiments can report
+  how often the 90 KB pool actually overflows).
+"""
+
+from __future__ import annotations
+
+from .channel import Channel
+
+
+class Nic:
+    """Per-host interface card bookkeeping."""
+
+    __slots__ = ("host", "switch", "inj", "dlv", "itb_bytes",
+                 "itb_peak_bytes", "itb_overflows", "itb_packets")
+
+    def __init__(self, host: int, switch: int, inj: Channel,
+                 dlv: Channel) -> None:
+        self.host = host
+        self.switch = switch
+        self.inj = inj
+        self.dlv = dlv
+        #: bytes of in-transit packets currently resident
+        self.itb_bytes = 0
+        #: high-water mark of :attr:`itb_bytes`
+        self.itb_peak_bytes = 0
+        #: in-transit packets that found the pool full on arrival
+        self.itb_overflows = 0
+        #: in-transit packets processed by this NIC
+        self.itb_packets = 0
+
+    def itb_admit(self, nbytes: int, pool_bytes: int) -> bool:
+        """Account an in-transit packet of ``nbytes`` arriving.
+
+        Returns ``True`` when it fits in the on-card pool, ``False``
+        when it must be staged through host memory (pool exhausted).
+        Either way the bytes are tracked until :meth:`itb_release`.
+        """
+        fits = self.itb_bytes + nbytes <= pool_bytes
+        self.itb_bytes += nbytes
+        self.itb_peak_bytes = max(self.itb_peak_bytes, self.itb_bytes)
+        self.itb_packets += 1
+        if not fits:
+            self.itb_overflows += 1
+        return fits
+
+    def itb_release(self, nbytes: int) -> None:
+        """Release pool bytes once the re-injected tail has left."""
+        self.itb_bytes -= nbytes
+        if self.itb_bytes < 0:
+            raise AssertionError(
+                f"NIC {self.host}: negative in-transit pool occupancy")
+
+    def reset_stats(self) -> None:
+        """Clear statistics at the end of warm-up (occupancy is state,
+        not a statistic, and is preserved)."""
+        self.itb_peak_bytes = self.itb_bytes
+        self.itb_overflows = 0
+        self.itb_packets = 0

@@ -1,0 +1,94 @@
+"""Packets (messages) in flight.
+
+The paper's workloads send fixed-size messages, each transmitted as a
+single Myrinet packet carrying its full source route.  A packet records
+the timestamps needed for the latency metrics:
+
+* ``created_ps``  -- handed to the source NIC by the host;
+* ``injected_ps`` -- first flit leaves the source NIC (the paper's
+  latency is measured from this point: "the injection of a message into
+  the network at the source host");
+* ``delivered_ps`` -- last flit received by the destination NIC.
+
+Wire length varies per leg: the header holds one route flit per switch
+still to be traversed plus one ITB mark per remaining in-transit host
+(consumed hop by hop), on top of the payload and the 2-byte type field.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import MyrinetParams
+from ..routing.routes import SourceRoute
+
+
+class Packet:
+    """One message travelling along a :class:`SourceRoute`."""
+
+    __slots__ = ("pid", "src_host", "dst_host", "payload_bytes", "route",
+                 "created_ps", "injected_ps", "delivered_ps",
+                 "itb_overflows", "_leg_wire_bytes")
+
+    def __init__(self, pid: int, src_host: int, dst_host: int,
+                 payload_bytes: int, route: SourceRoute,
+                 created_ps: int, params: MyrinetParams) -> None:
+        self.pid = pid
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.payload_bytes = payload_bytes
+        self.route = route
+        self.created_ps = created_ps
+        self.injected_ps: Optional[int] = None
+        self.delivered_ps: Optional[int] = None
+        self.itb_overflows = 0
+        self._leg_wire_bytes = self._compute_leg_wire_bytes(params)
+
+    def _compute_leg_wire_bytes(self, params: MyrinetParams) -> Tuple[int, ...]:
+        """Bytes on the wire during each leg.
+
+        At the start of leg ``k`` the header still holds the route flits
+        of legs ``k..end`` and the ITB marks of the remaining boundaries;
+        earlier flits were consumed by switches / stripped by in-transit
+        hosts.
+        """
+        legs = self.route.legs
+        out: List[int] = []
+        for k in range(len(legs)):
+            remaining_hops = sum(leg.hops for leg in legs[k:])
+            remaining_marks = len(legs) - 1 - k
+            out.append(self.payload_bytes + params.header_type_bytes
+                       + remaining_hops + remaining_marks)
+        return tuple(out)
+
+    @property
+    def num_legs(self) -> int:
+        return len(self.route.legs)
+
+    @property
+    def num_itbs(self) -> int:
+        return self.route.num_itbs
+
+    def wire_bytes(self, leg_idx: int) -> int:
+        """Flits on the wire while traversing leg ``leg_idx``."""
+        return self._leg_wire_bytes[leg_idx]
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_ps is not None
+
+    def latency_ps(self) -> int:
+        """Latency from creation to full delivery (includes source queueing)."""
+        if self.delivered_ps is None:
+            raise ValueError(f"packet {self.pid} not delivered yet")
+        return self.delivered_ps - self.created_ps
+
+    def network_latency_ps(self) -> int:
+        """Latency from first flit injected to full delivery."""
+        if self.delivered_ps is None or self.injected_ps is None:
+            raise ValueError(f"packet {self.pid} not delivered yet")
+        return self.delivered_ps - self.injected_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Packet({self.pid}: h{self.src_host}->h{self.dst_host}, "
+                f"{self.payload_bytes}B, {self.num_legs} legs)")

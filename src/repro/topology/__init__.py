@@ -1,0 +1,68 @@
+"""Network topologies evaluated in the paper plus generators for extensions.
+
+The paper's evaluation uses three topologies built from 16-port Myrinet
+switches with 8 hosts attached to each switch:
+
+* an 8x8 **2-D torus** (64 switches, 512 hosts) -- :func:`build_torus`
+* the same torus with **express channels** to second-order neighbours
+  (all 16 ports used) -- :func:`build_torus_express`
+* the Sandia **CPLANT** machine (50 switches, 400 hosts) --
+  :func:`build_cplant`
+
+:func:`build_irregular` generates the random irregular topologies of the
+authors' earlier ITB papers, used here for extension studies.
+
+All builders return a :class:`~repro.topology.graph.NetworkGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from .graph import Host, Link, NetworkGraph
+from .torus import build_torus
+from .express import build_torus_express
+from .cplant import build_cplant
+from .irregular import build_irregular
+from .mesh import build_mesh
+from .validate import check_topology
+
+#: registry used by :class:`repro.config.SimConfig` (``topology=`` field)
+BUILDERS: Dict[str, Callable[..., NetworkGraph]] = {
+    "torus": build_torus,
+    "torus-express": build_torus_express,
+    "cplant": build_cplant,
+    "irregular": build_irregular,
+    "mesh": build_mesh,
+}
+
+
+def build(name: str, **kwargs: Any) -> NetworkGraph:
+    """Build a registered topology by name.
+
+    >>> g = build("torus", rows=4, cols=4, hosts_per_switch=2)
+    >>> g.num_switches
+    16
+    """
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; available: {sorted(BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+__all__ = [
+    "NetworkGraph",
+    "Host",
+    "Link",
+    "build",
+    "build_torus",
+    "build_torus_express",
+    "build_cplant",
+    "build_irregular",
+    "build_mesh",
+    "check_topology",
+    "BUILDERS",
+]

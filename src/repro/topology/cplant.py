@@ -1,0 +1,100 @@
+"""CPLANT topology (paper Figure 6 -- Computational Plant, Sandia).
+
+The paper describes the machine as: 50 16-port switches connecting 400
+nodes (8 hosts per switch).  48 switches form 6 groups of 8; inside a
+group each switch uses 4 ports for intra-group links and 4 ports to reach
+its *equivalent* switches in other groups.  Each group is a 3-hypercube
+plus one extra cable per switch to the *farthest* switch of the group
+(its bit-complement).  The six groups themselves form an *incomplete*
+hypercube "which also contains connections between farthest nodes", and
+the remaining 2 switches form an additional group.  The paper notes the
+resulting topology "is not completely regular".
+
+The paper does not pin down every cable, so this builder makes the
+following documented choices (DESIGN.md Section 2):
+
+* **intra-group**: 3-cube edges (``b ^ 1``, ``b ^ 2``, ``b ^ 4``) plus the
+  complement diagonal ``b ^ 7`` -- exactly 4 ports per switch;
+* **group graph**: hypercube edges among group ids 0..5 (an edge when
+  ``g ^ 2**k < 6``) plus the two Hamming-distance-3 "farthest" pairs
+  (2, 5) and (3, 4); every group then has exactly 3 neighbour groups, and
+  switch ``b`` of group ``g`` is cabled to switch ``b`` of each
+  neighbouring group ("equivalent switches");
+* **extra group**: the two spare switches are cabled to each other and
+  fan out to the six groups -- one to switch 0 of each group, the other
+  to switch 7 of each group -- using the one remaining port of those
+  switches.
+
+All port budgets check out: switches 0 and 7 of each group use all 16
+ports, the rest have one port free, and the spare switches have one port
+free, matching the "not completely regular" remark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import NetworkGraph
+
+#: number of switches per regular group (a 3-hypercube)
+GROUP_SIZE = 8
+#: number of regular groups
+NUM_GROUPS = 6
+
+#: Hamming-distance-3 pairs among group ids 0..5 ("farthest nodes" of the
+#: incomplete hypercube of groups)
+_FARTHEST_GROUP_PAIRS: Tuple[Tuple[int, int], ...] = ((2, 5), (3, 4))
+
+
+def group_switch(group: int, member: int) -> int:
+    """Global switch id of member ``member`` (0..7) of ``group`` (0..5)."""
+    if not (0 <= group < NUM_GROUPS and 0 <= member < GROUP_SIZE):
+        raise ValueError(f"invalid group member ({group}, {member})")
+    return group * GROUP_SIZE + member
+
+
+def group_neighbour_pairs() -> List[Tuple[int, int]]:
+    """Unordered neighbour pairs of the 6-group interconnection graph."""
+    pairs = set()
+    for g in range(NUM_GROUPS):
+        for bit in (1, 2, 4):
+            h = g ^ bit
+            if h < NUM_GROUPS:
+                pairs.add((min(g, h), max(g, h)))
+    pairs.update(_FARTHEST_GROUP_PAIRS)
+    return sorted(pairs)
+
+
+def build_cplant(hosts_per_switch: int = 8, switch_ports: int = 16) -> NetworkGraph:
+    """Build the 50-switch / 400-host CPLANT network."""
+    num_switches = NUM_GROUPS * GROUP_SIZE + 2
+    g = NetworkGraph(num_switches, switch_ports, name="cplant")
+    spare_a = NUM_GROUPS * GROUP_SIZE       # switch 48
+    spare_b = NUM_GROUPS * GROUP_SIZE + 1   # switch 49
+
+    # intra-group: 3-cube plus complement diagonal
+    for grp in range(NUM_GROUPS):
+        for b in range(GROUP_SIZE):
+            for bit in (1, 2, 4):
+                nb = b ^ bit
+                if b < nb:
+                    g.add_link(group_switch(grp, b), group_switch(grp, nb))
+            comp = b ^ 0x7
+            if b < comp and g.link_between(group_switch(grp, b),
+                                           group_switch(grp, comp)) is None:
+                g.add_link(group_switch(grp, b), group_switch(grp, comp))
+
+    # inter-group: equivalent switches of neighbouring groups
+    for ga, gb in group_neighbour_pairs():
+        for b in range(GROUP_SIZE):
+            g.add_link(group_switch(ga, b), group_switch(gb, b))
+
+    # the additional 2-switch group
+    g.add_link(spare_a, spare_b)
+    for grp in range(NUM_GROUPS):
+        g.add_link(spare_a, group_switch(grp, 0))
+        g.add_link(spare_b, group_switch(grp, GROUP_SIZE - 1))
+
+    for s in range(num_switches):
+        g.add_hosts(s, hosts_per_switch)
+    return g.freeze()

@@ -1,0 +1,228 @@
+"""Switch/host/link graph model shared by routing and simulation.
+
+A :class:`NetworkGraph` is the static wiring of the network:
+
+* ``num_switches`` crossbar switches, each with a fixed port count,
+* point-to-point **links** (full-duplex cables) between switch pairs,
+* **hosts**, each attached to exactly one switch through its own cable.
+
+Switches and hosts are integer ids (0-based, separate id spaces).  Links
+are undirected cables identified by an integer id; the simulator models
+each direction as an independent channel.  The graph enforces the port
+budget: every host and every link end consumes one switch port.
+
+The routing layer only needs switch-level adjacency (hosts never forward
+traffic except through the explicit in-transit buffer mechanism), so the
+hot queries -- ``neighbors(s)``, ``link_between(a, b)``,
+``hosts_at(s)`` -- are plain list/dict lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected switch-to-switch cable.
+
+    ``a < b`` is enforced at construction so a cable has one canonical
+    representation; use :meth:`other` to walk either direction.
+    """
+
+    id: int
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"link {self.id} connects switch {self.a} to itself")
+        if self.a > self.b:
+            raise ValueError(f"link endpoints must satisfy a < b, got {self.a} > {self.b}")
+
+    def other(self, switch: int) -> int:
+        """Endpoint opposite to ``switch``."""
+        if switch == self.a:
+            return self.b
+        if switch == self.b:
+            return self.a
+        raise ValueError(f"switch {switch} is not an endpoint of link {self.id}")
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Host:
+    """A workstation attached to ``switch`` through its own NIC and cable."""
+
+    id: int
+    switch: int
+
+
+class NetworkGraph:
+    """Static network wiring: switches, hosts and inter-switch links.
+
+    Build incrementally with :meth:`add_link` / :meth:`add_host` (topology
+    builders do this) and call :meth:`freeze` when done; frozen graphs are
+    immutable and hashable by identity, which lets routing-table
+    computation be cached per graph.
+    """
+
+    def __init__(self, num_switches: int, switch_ports: int = 16,
+                 name: str = "custom") -> None:
+        if num_switches <= 0:
+            raise ValueError("need at least one switch")
+        if switch_ports < 1:
+            raise ValueError("switches need at least one port")
+        self.name = name
+        self.num_switches = num_switches
+        self.switch_ports = switch_ports
+        self.links: List[Link] = []
+        self.hosts: List[Host] = []
+        self._adj: List[List[Tuple[int, int]]] = [[] for _ in range(num_switches)]
+        self._hosts_at: List[List[int]] = [[] for _ in range(num_switches)]
+        self._ports_used: List[int] = [0] * num_switches
+        self._link_index: Dict[Tuple[int, int], int] = {}
+        self._frozen = False
+
+    # -- construction -----------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError("graph is frozen")
+
+    def _take_port(self, switch: int) -> None:
+        if not (0 <= switch < self.num_switches):
+            raise ValueError(f"switch {switch} out of range")
+        if self._ports_used[switch] >= self.switch_ports:
+            raise ValueError(
+                f"switch {switch} has no free port "
+                f"(all {self.switch_ports} in use)")
+        self._ports_used[switch] += 1
+
+    def add_link(self, a: int, b: int) -> int:
+        """Connect switches ``a`` and ``b`` with a new cable; returns link id.
+
+        Parallel links between the same switch pair are rejected: none of
+        the paper's topologies use them and the routing layer assumes at
+        most one cable per pair.
+        """
+        self._check_mutable()
+        lo, hi = min(a, b), max(a, b)
+        if (lo, hi) in self._link_index:
+            raise ValueError(f"switches {lo} and {hi} are already linked")
+        self._take_port(a)
+        self._take_port(b)
+        link = Link(len(self.links), lo, hi)
+        self.links.append(link)
+        self._adj[a].append((b, link.id))
+        self._adj[b].append((a, link.id))
+        self._link_index[(lo, hi)] = link.id
+        return link.id
+
+    def add_host(self, switch: int) -> int:
+        """Attach a new host to ``switch``; returns the host id."""
+        self._check_mutable()
+        self._take_port(switch)
+        host = Host(len(self.hosts), switch)
+        self.hosts.append(host)
+        self._hosts_at[switch].append(host.id)
+        return host.id
+
+    def add_hosts(self, switch: int, count: int) -> List[int]:
+        """Attach ``count`` hosts to ``switch``."""
+        return [self.add_host(switch) for _ in range(count)]
+
+    def freeze(self) -> "NetworkGraph":
+        """Mark the graph immutable (returns self for chaining)."""
+        self._frozen = True
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def neighbors(self, switch: int) -> Sequence[Tuple[int, int]]:
+        """``(neighbor_switch, link_id)`` pairs for ``switch``."""
+        return self._adj[switch]
+
+    def degree(self, switch: int) -> int:
+        """Number of inter-switch cables at ``switch``."""
+        return len(self._adj[switch])
+
+    def ports_used(self, switch: int) -> int:
+        return self._ports_used[switch]
+
+    def ports_free(self, switch: int) -> int:
+        return self.switch_ports - self._ports_used[switch]
+
+    def hosts_at(self, switch: int) -> Sequence[int]:
+        """Host ids attached to ``switch``."""
+        return self._hosts_at[switch]
+
+    def host_switch(self, host: int) -> int:
+        """Switch a host is attached to."""
+        return self.hosts[host].switch
+
+    def link_between(self, a: int, b: int) -> Optional[int]:
+        """Link id of the cable between ``a`` and ``b`` (None if absent)."""
+        return self._link_index.get((min(a, b), max(a, b)))
+
+    def switches(self) -> Iterator[int]:
+        return iter(range(self.num_switches))
+
+    def is_connected(self) -> bool:
+        """True when every switch is reachable from switch 0."""
+        if self.num_switches == 1:
+            return True
+        seen = [False] * self.num_switches
+        seen[0] = True
+        stack = [0]
+        count = 1
+        while stack:
+            s = stack.pop()
+            for nb, _ in self._adj[s]:
+                if not seen[nb]:
+                    seen[nb] = True
+                    count += 1
+                    stack.append(nb)
+        return count == self.num_switches
+
+    def shortest_distances(self, source: int) -> List[int]:
+        """BFS hop distances (in links) from ``source`` to every switch.
+
+        Unreachable switches get distance -1.
+        """
+        dist = [-1] * self.num_switches
+        dist[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt: List[int] = []
+            for s in frontier:
+                d = dist[s] + 1
+                for nb, _ in self._adj[s]:
+                    if dist[nb] < 0:
+                        dist[nb] = d
+                        nxt.append(nb)
+            frontier = nxt
+        return dist
+
+    def all_pairs_distances(self) -> List[List[int]]:
+        """Hop-distance matrix (BFS from every switch)."""
+        return [self.shortest_distances(s) for s in self.switches()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"NetworkGraph({self.name!r}: {self.num_switches} switches, "
+                f"{self.num_hosts} hosts, {self.num_links} links)")

@@ -1,0 +1,72 @@
+"""Random irregular topology generator (extension substrate).
+
+The in-transit buffer mechanism was first proposed for NOWs with
+*irregular* topology (references [5, 6] of the paper).  This generator
+reproduces the usual methodology of those papers: a random connected
+switch graph where each switch has a bounded number of inter-switch links
+and no two switches are joined by more than one cable.
+
+The generation is deterministic for a given seed, which keeps tests and
+ablation benches reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import NetworkGraph
+
+
+def build_irregular(num_switches: int = 16, hosts_per_switch: int = 8,
+                    switch_ports: int = 16, max_switch_links: int = 4,
+                    seed: int = 1) -> NetworkGraph:
+    """Generate a random connected irregular network.
+
+    A random spanning tree guarantees connectivity; extra cables are then
+    added between random switch pairs until every switch either reaches
+    ``max_switch_links`` inter-switch cables or no legal pair remains.
+
+    ``max_switch_links`` defaults to 4, matching the evaluation set-up of
+    the authors' irregular-network papers (and leaving the same 4 open
+    ports per switch as the paper's 2-D torus).
+    """
+    if num_switches < 2:
+        raise ValueError("need at least 2 switches")
+    if max_switch_links < 1:
+        raise ValueError("max_switch_links must be >= 1")
+    if hosts_per_switch + max_switch_links > switch_ports:
+        raise ValueError("port budget exceeded: "
+                         f"{hosts_per_switch} hosts + {max_switch_links} links "
+                         f"> {switch_ports} ports")
+    rng = random.Random(seed)
+    g = NetworkGraph(num_switches, switch_ports,
+                     name=f"irregular-{num_switches}-s{seed}")
+
+    # random spanning tree: attach each new switch to a random earlier
+    # switch that still has cable budget left
+    order = list(range(num_switches))
+    rng.shuffle(order)
+    for i in range(1, num_switches):
+        a = order[i]
+        candidates = [order[j] for j in range(i)
+                      if g.degree(order[j]) < max_switch_links]
+        if not candidates:
+            raise ValueError(
+                f"max_switch_links={max_switch_links} too small to keep "
+                f"{num_switches} switches connected")
+        g.add_link(a, candidates[rng.randrange(len(candidates))])
+
+    # densify up to the per-switch cable budget
+    candidates = [(a, b) for a in range(num_switches)
+                  for b in range(a + 1, num_switches)]
+    rng.shuffle(candidates)
+    for a, b in candidates:
+        if g.degree(a) >= max_switch_links or g.degree(b) >= max_switch_links:
+            continue
+        if g.link_between(a, b) is not None:
+            continue
+        g.add_link(a, b)
+
+    for s in range(num_switches):
+        g.add_hosts(s, hosts_per_switch)
+    return g.freeze()

@@ -1,0 +1,81 @@
+"""Topology mutation: link and switch failures (extension).
+
+Myrinet NICs "check for changes in the network topology (shutdown of
+hosts, link/switch failures ...) in order to maintain the routing
+tables" (paper Section 2).  These helpers produce the post-failure
+topology so the routing stack can recompute tables and the resilience
+benches can measure how gracefully each algorithm degrades.
+
+Graphs are immutable once frozen, so mutation means rebuilding: the
+returned graph preserves switch/host ids (hosts of a dead switch are
+dropped along with it -- host ids then shift, so failure studies that
+need stable host ids should fail links, not switches).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from .graph import NetworkGraph
+
+
+def without_links(g: NetworkGraph, link_ids: Iterable[int],
+                  require_connected: bool = True) -> NetworkGraph:
+    """A copy of ``g`` with the given cables removed.
+
+    Link ids are renumbered (they are positional); switch and host ids
+    are preserved.  With ``require_connected`` (default) a failure that
+    would partition the switch graph raises :class:`ValueError` --
+    routing is undefined across a partition.
+    """
+    dead: Set[int] = set(link_ids)
+    for lid in dead:
+        if not (0 <= lid < g.num_links):
+            raise ValueError(f"link {lid} out of range")
+    out = NetworkGraph(g.num_switches, g.switch_ports,
+                       name=f"{g.name}-minus-{len(dead)}-links")
+    for link in g.links:
+        if link.id not in dead:
+            out.add_link(link.a, link.b)
+    for host in g.hosts:
+        out.add_host(host.switch)
+    out.freeze()
+    if require_connected and not out.is_connected():
+        raise ValueError(
+            f"removing links {sorted(dead)} partitions the network")
+    return out
+
+
+def without_switch(g: NetworkGraph, switch: int,
+                   require_connected: bool = True) -> NetworkGraph:
+    """A copy of ``g`` with one switch (its links and hosts) removed.
+
+    The remaining switches are renumbered densely (old id order kept);
+    host ids are reassigned in the same order.  Returns the new graph;
+    callers needing the old->new switch mapping can derive it: every
+    old id above ``switch`` shifts down by one.
+    """
+    if not (0 <= switch < g.num_switches):
+        raise ValueError(f"switch {switch} out of range")
+    if g.num_switches < 2:
+        raise ValueError("cannot remove the only switch")
+
+    def new_id(old: int) -> Optional[int]:
+        if old == switch:
+            return None
+        return old - 1 if old > switch else old
+
+    out = NetworkGraph(g.num_switches - 1, g.switch_ports,
+                       name=f"{g.name}-minus-sw{switch}")
+    for link in g.links:
+        a, b = new_id(link.a), new_id(link.b)
+        if a is not None and b is not None:
+            out.add_link(a, b)
+    for host in g.hosts:
+        s = new_id(host.switch)
+        if s is not None:
+            out.add_host(s)
+    out.freeze()
+    if require_connected and not out.is_connected():
+        raise ValueError(f"removing switch {switch} partitions the network")
+    return out

@@ -1,0 +1,53 @@
+"""Topology invariant checks.
+
+:func:`check_topology` is called by the experiment runner before any
+simulation and by the topology test-suite.  It verifies the structural
+assumptions the routing and simulation layers rely on:
+
+* the graph is frozen, connected, and respects the switch port budget;
+* adjacency, link index and per-switch host lists are mutually
+  consistent;
+* every host is attached to a valid switch.
+"""
+
+from __future__ import annotations
+
+from .graph import NetworkGraph
+
+
+def check_topology(g: NetworkGraph) -> None:
+    """Raise :class:`AssertionError` describing the first violated invariant."""
+    assert g.frozen, "topology must be frozen before use"
+    assert g.is_connected(), f"{g.name}: switch graph is not connected"
+    assert g.num_hosts > 0, f"{g.name}: no hosts attached"
+
+    # port accounting
+    for s in g.switches():
+        used = g.degree(s) + len(g.hosts_at(s))
+        assert used == g.ports_used(s), (
+            f"{g.name}: switch {s} port bookkeeping mismatch "
+            f"({used} != {g.ports_used(s)})")
+        assert used <= g.switch_ports, (
+            f"{g.name}: switch {s} uses {used} ports > {g.switch_ports}")
+
+    # adjacency <-> link list consistency
+    seen_from_adj = set()
+    for s in g.switches():
+        for nb, lid in g.neighbors(s):
+            link = g.links[lid]
+            assert {link.a, link.b} == {s, nb}, (
+                f"{g.name}: adjacency of switch {s} disagrees with link {lid}")
+            seen_from_adj.add(lid)
+    assert seen_from_adj == set(range(g.num_links)), (
+        f"{g.name}: some links missing from adjacency lists")
+
+    for link in g.links:
+        assert g.link_between(link.a, link.b) == link.id, (
+            f"{g.name}: link index broken for link {link.id}")
+
+    # hosts
+    for host in g.hosts:
+        assert 0 <= host.switch < g.num_switches, (
+            f"{g.name}: host {host.id} attached to invalid switch")
+        assert host.id in g.hosts_at(host.switch), (
+            f"{g.name}: host {host.id} missing from hosts_at({host.switch})")

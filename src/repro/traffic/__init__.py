@@ -1,0 +1,64 @@
+"""Traffic patterns and the constant-rate generation process (Section 4.2).
+
+Every host generates fixed-size messages at the same constant rate; the
+patterns differ only in how each message's destination is drawn:
+
+* :class:`UniformTraffic` -- uniformly random destination;
+* :class:`BitReversalTraffic` -- destination is the bit-reversed source
+  id (requires a power-of-two host count);
+* :class:`HotspotTraffic` -- a fixed percentage of messages target one
+  hotspot host, the rest are uniform;
+* :class:`LocalTraffic` -- destinations at most ``radius`` switches away;
+* :mod:`permutation` -- extension patterns (transpose, complement).
+
+:func:`make_pattern` builds a pattern from its config name, and
+:class:`TrafficProcess` drives per-host generation on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..topology.graph import NetworkGraph
+from .base import TrafficPattern, TrafficProcess, per_host_interval_ps
+from .uniform import UniformTraffic
+from .bitreversal import BitReversalTraffic
+from .hotspot import HotspotTraffic
+from .local import LocalTraffic
+from .permutation import ComplementTraffic, TransposeTraffic
+
+PATTERNS: Dict[str, Callable[..., TrafficPattern]] = {
+    "uniform": UniformTraffic,
+    "bit-reversal": BitReversalTraffic,
+    "hotspot": HotspotTraffic,
+    "local": LocalTraffic,
+    "transpose": TransposeTraffic,
+    "complement": ComplementTraffic,
+}
+
+
+def make_pattern(name: str, graph: NetworkGraph,
+                 **kwargs: Any) -> TrafficPattern:
+    """Instantiate a registered traffic pattern by config name."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; available: {sorted(PATTERNS)}"
+        ) from None
+    return cls(graph, **kwargs)
+
+
+__all__ = [
+    "TrafficPattern",
+    "TrafficProcess",
+    "per_host_interval_ps",
+    "UniformTraffic",
+    "BitReversalTraffic",
+    "HotspotTraffic",
+    "LocalTraffic",
+    "TransposeTraffic",
+    "ComplementTraffic",
+    "make_pattern",
+    "PATTERNS",
+]

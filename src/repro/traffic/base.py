@@ -1,0 +1,119 @@
+"""Traffic pattern interface and the constant-rate generation process.
+
+The paper's load model: "message generation rate is constant and the
+same for all the hosts".  Offered load is expressed in the unit of the
+plots, **flits/ns/switch**; with ``H`` hosts, ``S`` switches and
+``L``-flit messages each host emits one message every
+
+    interval = L * H / (rate * S)   nanoseconds.
+
+Hosts start with independent random phases so the network is not hit by
+a synchronised burst every interval.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.network import WormholeNetwork
+from ..topology.graph import NetworkGraph
+from ..units import PS_PER_NS
+
+
+class TrafficPattern(ABC):
+    """Destination distribution for one network."""
+
+    name: str = "abstract"
+
+    def __init__(self, graph: NetworkGraph) -> None:
+        self.graph = graph
+
+    @abstractmethod
+    def destination(self, src_host: int,
+                    rng: random.Random) -> Optional[int]:
+        """Destination host for the next message of ``src_host``.
+
+        ``None`` means the host generates no traffic under this pattern
+        (e.g. fixed permutations that map a host to itself).
+        """
+
+    def active_hosts(self) -> list[int]:
+        """Hosts that generate traffic (default: all of them).
+
+        Patterns that silence some hosts (see :meth:`destination`
+        returning ``None``) may override this so the generation process
+        can skip them entirely.
+        """
+        return [h.id for h in self.graph.hosts]
+
+
+def per_host_interval_ps(rate_flits_ns_switch: float, message_bytes: int,
+                         graph: NetworkGraph) -> int:
+    """Inter-message interval per host for a given per-switch offered load.
+
+    One flit is one byte, so a message is ``message_bytes`` flits of
+    offered payload (header overhead is not counted as offered load,
+    matching the paper's accepted-traffic metric).
+    """
+    if rate_flits_ns_switch <= 0:
+        raise ValueError("rate must be positive")
+    rate_per_host_flits_ns = (rate_flits_ns_switch * graph.num_switches
+                              / graph.num_hosts)
+    interval_ns = message_bytes / rate_per_host_flits_ns
+    return max(1, round(interval_ns * PS_PER_NS))
+
+
+class TrafficProcess:
+    """Drives constant-rate generation for every active host.
+
+    Each host gets its own deterministic RNG stream (seeded from the run
+    seed and the host id) for destination sampling and its initial
+    phase, so runs are reproducible and adding hosts does not perturb
+    other hosts' streams.
+    """
+
+    def __init__(self, sim: Simulator, network: WormholeNetwork,
+                 pattern: TrafficPattern, interval_ps: int, seed: int,
+                 max_messages: int = 0) -> None:
+        if interval_ps <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.network = network
+        self.pattern = pattern
+        self.interval_ps = interval_ps
+        self.seed = seed
+        self.max_messages = max_messages
+        self.generated = 0
+        self._started = False
+        self._stopped = False
+
+    def start(self) -> None:
+        """Schedule the first message of every active host."""
+        if self._started:
+            raise RuntimeError("traffic process already started")
+        self._started = True
+        for host in self.pattern.active_hosts():
+            rng = random.Random(f"{self.seed}:{host}")
+            phase = rng.randrange(self.interval_ps)
+            self.sim.at(self.sim.now + phase,
+                        self._make_tick(host, rng))
+
+    def stop(self) -> None:
+        """Cease generation; in-flight messages drain normally."""
+        self._stopped = True
+
+    def _make_tick(self, host: int, rng: random.Random):
+        def tick() -> None:
+            if self._stopped:
+                return
+            if self.max_messages and self.generated >= self.max_messages:
+                return
+            dst = self.pattern.destination(host, rng)
+            if dst is not None and dst != host:
+                self.network.send(host, dst)
+                self.generated += 1
+            self.sim.after(self.interval_ps, tick)
+        return tick

@@ -1,0 +1,42 @@
+"""Hotspot traffic: a share of all messages target one hot host.
+
+"A percentage of traffic is sent to one host ... the rest of the
+traffic is generated randomly using a uniform distribution."  The paper
+runs 10 simulations with 10 randomly chosen hotspot locations and
+reports the throughput of each (Tables 1--3); the experiment harness
+draws those locations deterministically from the run seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..topology.graph import NetworkGraph
+from .base import TrafficPattern
+
+
+class HotspotTraffic(TrafficPattern):
+    """With probability ``fraction``: the hotspot host; otherwise uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, graph: NetworkGraph, hotspot: int = 0,
+                 fraction: float = 0.05) -> None:
+        super().__init__(graph)
+        if not (0 <= hotspot < graph.num_hosts):
+            raise ValueError(f"hotspot host {hotspot} out of range")
+        if not (0.0 < fraction < 1.0):
+            raise ValueError("hotspot fraction must be in (0, 1)")
+        if graph.num_hosts < 2:
+            raise ValueError("hotspot traffic needs at least two hosts")
+        self.hotspot = hotspot
+        self.fraction = fraction
+
+    def destination(self, src_host: int, rng: random.Random) -> Optional[int]:
+        if src_host != self.hotspot and rng.random() < self.fraction:
+            return self.hotspot
+        # uniform over everyone but the source (hot messages from the
+        # hotspot host itself fall through to here as well)
+        d = rng.randrange(self.graph.num_hosts - 1)
+        return d + 1 if d >= src_host else d

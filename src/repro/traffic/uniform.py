@@ -1,0 +1,26 @@
+"""Uniform destination distribution ("the most widely used pattern")."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..topology.graph import NetworkGraph
+from .base import TrafficPattern
+
+
+class UniformTraffic(TrafficPattern):
+    """Destination chosen uniformly among all hosts except the source."""
+
+    name = "uniform"
+
+    def __init__(self, graph: NetworkGraph) -> None:
+        super().__init__(graph)
+        if graph.num_hosts < 2:
+            raise ValueError("uniform traffic needs at least two hosts")
+
+    def destination(self, src_host: int, rng: random.Random) -> Optional[int]:
+        # draw from [0, n-2] and skip over the source: exactly uniform
+        # over the other n-1 hosts with a single RNG call
+        d = rng.randrange(self.graph.num_hosts - 1)
+        return d + 1 if d >= src_host else d

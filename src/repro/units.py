@@ -1,0 +1,64 @@
+"""Time, bandwidth and size units used throughout the simulator.
+
+The simulator keeps time as **integer picoseconds** internally.  All of the
+Myrinet timing constants from the paper (Section 4.3--4.5) are exact
+multiples of 1 ps, so integer time avoids floating-point comparison
+hazards in the event queue while remaining exact:
+
+* one flit (one byte) crosses a link every 6.25 ns  -> 6250 ps
+* a 10 m LAN cable has 4.92 ns/m propagation delay  -> 49200 ps
+* switch routing decision: 150 ns                   -> 150000 ps
+* in-transit detection: 275 ns, DMA set-up: 200 ns  -> 275000 / 200000 ps
+
+Public helpers convert between picoseconds and the nanosecond values used
+in the paper's plots (``flits/ns/switch`` for accepted traffic, ns for
+latency).
+"""
+
+from __future__ import annotations
+
+#: picoseconds per nanosecond
+PS_PER_NS: int = 1_000
+
+#: picoseconds per microsecond
+PS_PER_US: int = 1_000_000
+
+#: picoseconds per millisecond
+PS_PER_MS: int = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert a duration in nanoseconds to integer picoseconds.
+
+    Values that are not exact multiples of 1 ps are rounded to the
+    nearest picosecond (the paper's constants are all exact).
+    """
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Convert a duration in microseconds to integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert a duration in milliseconds to integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def to_ns(value_ps: int) -> float:
+    """Convert integer picoseconds back to (float) nanoseconds."""
+    return value_ps / PS_PER_NS
+
+
+def flits_per_ns(flits: int, window_ps: int) -> float:
+    """Rate of ``flits`` delivered over a window of ``window_ps`` picoseconds,
+    expressed in flits/ns (the unit used on the paper's x axes, before
+    normalising by the number of switches)."""
+    if window_ps <= 0:
+        raise ValueError("window must be positive")
+    return flits * PS_PER_NS / window_ps
+
+
+KB: int = 1024
+MB: int = 1024 * 1024

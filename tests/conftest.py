@@ -1,0 +1,72 @@
+"""Shared fixtures: small topologies and fast profiles.
+
+Unit tests run on scaled-down networks (4x4 torus with 2 hosts per
+switch, tiny irregular graphs) so the whole suite stays fast; the
+paper-scale 512-host networks are exercised by the integration tests
+and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import clear_caches
+from repro.topology import (build_cplant, build_irregular, build_torus,
+                            build_torus_express)
+from repro.units import ns
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Isolate the runner's graph/table caches between tests."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="session")
+def torus44():
+    """4x4 torus, 2 hosts/switch (32 hosts) -- the unit-test workhorse."""
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)
+
+
+@pytest.fixture(scope="session")
+def torus88():
+    """The paper's 8x8 torus with 8 hosts/switch (512 hosts)."""
+    return build_torus()
+
+
+@pytest.fixture(scope="session")
+def express44():
+    """4x4 express torus, 2 hosts/switch."""
+    return build_torus_express(rows=4, cols=4, hosts_per_switch=2)
+
+
+@pytest.fixture(scope="session")
+def cplant():
+    """The paper's CPLANT network (50 switches, 400 hosts)."""
+    return build_cplant()
+
+
+@pytest.fixture(scope="session")
+def irregular16():
+    """16-switch random irregular network (extension substrate)."""
+    return build_irregular(num_switches=16, hosts_per_switch=2, seed=3)
+
+
+def small_config(**overrides) -> SimConfig:
+    """A fast 4x4-torus run description for integration tests."""
+    base = dict(
+        topology="torus",
+        topology_kwargs={"rows": 4, "cols": 4, "hosts_per_switch": 2},
+        routing="itb",
+        policy="rr",
+        traffic="uniform",
+        injection_rate=0.01,
+        warmup_ps=ns(20_000),
+        measure_ps=ns(80_000),
+        seed=5,
+    )
+    base.update(overrides)
+    return SimConfig(**base)

@@ -1,0 +1,119 @@
+"""Latency-adaptive source selection policy (extension)."""
+
+import pytest
+
+from repro.config import PAPER_PARAMS
+from repro.routing.policies import AdaptivePolicy, make_policy
+from repro.routing.routes import SourceRoute
+from repro.sim.packet import Packet
+from repro.topology import build_torus
+
+
+@pytest.fixture(scope="module")
+def g():
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)
+
+
+@pytest.fixture(scope="module")
+def alts(g):
+    return tuple(SourceRoute.single_leg(g, p)
+                 for p in [(0, 1, 5), (0, 4, 5), (0, 3, 7, 6, 5)])
+
+
+def deliver(policy, route, src, dst, latency_ps):
+    """Synthesise a delivered packet over ``route`` and feed it back."""
+    pkt = Packet(0, src, dst, 512, route, created_ps=0,
+                 params=PAPER_PARAMS)
+    pkt.injected_ps = 0
+    pkt.delivered_ps = latency_ps
+    policy.feedback(pkt)
+
+
+class TestAdaptivePolicy:
+    def test_tries_every_alternative_first(self, alts):
+        """Optimistic initialisation: unobserved routes are preferred."""
+        p = AdaptivePolicy(seed=1, epsilon=0.0)
+        seen = set()
+        for _ in range(len(alts)):
+            r = p.select(0, 10, alts)
+            seen.add(id(r))
+            deliver(p, r, 0, 10, 5_000_000)
+        assert len(seen) == len(alts)
+
+    def test_prefers_fastest(self, alts):
+        p = AdaptivePolicy(seed=1, epsilon=0.0)
+        p.register(0, 10, alts)
+        # observe: alternative 1 is much faster than the others
+        deliver(p, alts[0], 0, 10, 9_000_000)
+        deliver(p, alts[1], 0, 10, 2_000_000)
+        deliver(p, alts[2], 0, 10, 8_000_000)
+        for _ in range(5):
+            chosen = p.select(0, 10, alts)
+            assert chosen is alts[1]
+            deliver(p, chosen, 0, 10, 2_000_000)
+
+    def test_recovers_when_fast_route_degrades(self, alts):
+        p = AdaptivePolicy(seed=1, epsilon=0.0, alpha=0.5)
+        p.register(0, 10, alts)
+        deliver(p, alts[0], 0, 10, 1_000_000)
+        deliver(p, alts[1], 0, 10, 5_000_000)
+        deliver(p, alts[2], 0, 10, 5_000_000)
+        assert p.select(0, 10, alts) is alts[0]
+        # route 0 becomes congested; its EWMA climbs past the others
+        for _ in range(6):
+            deliver(p, alts[0], 0, 10, 20_000_000)
+        assert p.select(0, 10, alts) is not alts[0]
+
+    def test_epsilon_explores(self, alts):
+        p = AdaptivePolicy(seed=3, epsilon=1.0)  # always explore
+        p.register(0, 10, alts)
+        for r in alts:
+            deliver(p, r, 0, 10, 5_000_000)
+        picks = {id(p.select(0, 10, alts)) for _ in range(60)}
+        assert len(picks) == len(alts)
+
+    def test_pairs_independent(self, alts):
+        p = AdaptivePolicy(seed=1, epsilon=0.0)
+        p.register(0, 10, alts)
+        deliver(p, alts[0], 0, 10, 1_000_000)
+        deliver(p, alts[1], 0, 10, 9_000_000)
+        deliver(p, alts[2], 0, 10, 9_000_000)
+        # pair (1, 10) has no observations: optimistic start, not
+        # influenced by pair (0, 10)
+        first = p.select(1, 10, alts)
+        assert first is alts[0]  # deterministic first unobserved
+
+    def test_feedback_for_unknown_pair_ignored(self, alts):
+        p = AdaptivePolicy(seed=1)
+        deliver(p, alts[0], 7, 8, 1_000_000)  # never selected: no crash
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(epsilon=1.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(alpha=0.0)
+
+    def test_make_policy(self):
+        assert make_policy("adaptive").name == "adaptive"
+
+    def test_deterministic_per_seed(self, alts):
+        runs = []
+        for _ in range(2):
+            p = AdaptivePolicy(seed=9, epsilon=0.3)
+            seq = []
+            for i in range(20):
+                r = p.select(0, 10, alts)
+                seq.append(id(r))
+                deliver(p, r, 0, 10, 4_000_000 + i)
+            runs.append(seq)
+        assert runs[0] == runs[1]
+
+
+class TestEndToEnd:
+    def test_adaptive_runs_and_learns(self):
+        from tests.conftest import small_config
+        from repro.experiments.runner import run_simulation
+        s = run_simulation(small_config(policy="adaptive",
+                                        injection_rate=0.03))
+        assert s.messages_delivered > 0
+        assert not s.saturated

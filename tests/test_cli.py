@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.topology == "torus"
+        assert args.routing == "itb"
+        assert args.rate == 0.01
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "hypercube"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out and "table3" in out
+        assert "latency-panel" in out and "hotspot-table" in out
+
+    def test_info_irregular(self, capsys):
+        assert main(["info", "irregular"]) == 0
+        out = capsys.readouterr().out
+        assert "switches" in out
+        assert "updown" in out and "itb" in out
+        assert "minimal" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--topology", "irregular", "--rate", "0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered=0.0100" in out
+        assert "delivered" in out
+
+    def test_run_with_links(self, capsys):
+        rc = main(["run", "--topology", "irregular", "--rate", "0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000",
+                   "--links"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "link utilisation" in out
+        assert "hottest" in out
+
+    def test_run_hotspot_options(self, capsys):
+        rc = main(["run", "--topology", "irregular", "--traffic", "hotspot",
+                   "--hotspot", "3", "--hotspot-fraction", "0.2",
+                   "--rate", "0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000"])
+        assert rc == 0
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--topology", "irregular",
+                   "--rates", "0.005,0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput (knee)" in out
+        assert "0.0050" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_smoke(self, capsys):
+        assert main(["experiment", "fig7a", "--profile", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "(paper: 0.015)" in out
+
+    def test_experiment_with_plot(self, capsys):
+        assert main(["experiment", "fig7a", "--profile", "test",
+                     "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o UP/DOWN" in out
+        assert "accepted traffic" in out
+
+    def test_adaptive_policy_accepted(self, capsys):
+        rc = main(["run", "--topology", "irregular", "--policy",
+                   "adaptive", "--rate", "0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000"])
+        assert rc == 0
+        assert "ITB-ADAPTIVE" in capsys.readouterr().out

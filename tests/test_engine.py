@@ -1,0 +1,127 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim.engine import DeadlockError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.at(30, lambda: log.append("c"))
+    sim.at(10, lambda: log.append("a"))
+    sim.at(20, lambda: log.append("b"))
+    sim.run_until(100)
+    assert log == ["a", "b", "c"]
+
+
+def test_fifo_at_equal_times():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.at(42, lambda i=i: log.append(i))
+    sim.run_until(42)
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.at(7, lambda: seen.append(sim.now))
+    sim.run_until(50)
+    assert seen == [7]
+    assert sim.now == 50
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: sim.after(5, lambda: seen.append(sim.now)))
+    sim.run_until(20)
+    assert seen == [15]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run_until(10)
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    log = []
+    sim.at(10, lambda: log.append(1))
+    sim.at(30, lambda: log.append(2))
+    sim.run_until(20)
+    assert log == [1]
+    assert sim.pending_events == 1
+    sim.run_until(30)
+    assert log == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    log = []
+
+    def cascade():
+        log.append(sim.now)
+        if sim.now < 30:
+            sim.after(10, cascade)
+
+    sim.at(10, cascade)
+    sim.run_until(100)
+    assert log == [10, 20, 30]
+
+
+def test_run_until_idle():
+    sim = Simulator()
+    log = []
+    sim.at(5, lambda: log.append(1))
+    sim.at(15, lambda: log.append(2))
+    sim.run_until_idle()
+    assert log == [1, 2]
+    assert sim.pending_events == 0
+
+
+def test_run_until_idle_with_cap():
+    sim = Simulator()
+    log = []
+    sim.at(5, lambda: log.append(1))
+    sim.at(50, lambda: log.append(2))
+    sim.run_until_idle(max_time_ps=20)
+    assert log == [1]
+    assert sim.now == 20
+
+
+def test_peek_time():
+    sim = Simulator()
+    assert sim.peek_time() is None
+    sim.at(9, lambda: None)
+    assert sim.peek_time() == 9
+
+
+def test_watchdog_fires_periodically():
+    sim = Simulator()
+    ticks = []
+    sim.set_watchdog(10, lambda: ticks.append(sim.now))
+    sim.run_until(35)
+    assert ticks == [10, 20, 30]
+
+
+def test_watchdog_can_abort():
+    sim = Simulator()
+
+    def check():
+        raise DeadlockError("stuck")
+
+    sim.set_watchdog(10, check)
+    with pytest.raises(DeadlockError):
+        sim.run_until(100)
+
+
+def test_watchdog_bad_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.set_watchdog(0, lambda: None)

@@ -1,0 +1,137 @@
+"""Metrics: latency collector, link stats, saturation search."""
+
+import pytest
+
+from repro.config import PAPER_PARAMS, SimConfig
+from repro.metrics.collector import LatencyCollector
+from repro.metrics.saturation import find_saturation
+from repro.metrics.summary import RunSummary
+from repro.routing.routes import RouteLeg, SourceRoute
+from repro.sim.packet import Packet
+
+
+def mk_packet(created, injected, delivered, payload=512, pid=0):
+    route = SourceRoute((RouteLeg((0,), ()),))
+    p = Packet(pid, 0, 1, payload, route, created, PAPER_PARAMS)
+    p.injected_ps = injected
+    p.delivered_ps = delivered
+    return p
+
+
+class TestLatencyCollector:
+    def test_accumulates(self):
+        c = LatencyCollector()
+        c.on_delivered(mk_packet(0, 100, 1_000))
+        c.on_delivered(mk_packet(0, 500, 3_000))
+        assert c.messages == 2
+        assert c.payload_flits == 1024
+        assert c.avg_latency_ns() == pytest.approx((1.0 + 3.0) / 2)
+        assert c.avg_network_latency_ns() == pytest.approx((0.9 + 2.5) / 2)
+        assert c.max_latency_ps == 3_000
+
+    def test_empty_returns_none(self):
+        c = LatencyCollector()
+        assert c.avg_latency_ns() is None
+        assert c.avg_network_latency_ns() is None
+        assert c.avg_itbs_per_message() is None
+
+    def test_reset(self):
+        c = LatencyCollector()
+        c.on_delivered(mk_packet(0, 0, 500))
+        c.reset()
+        assert c.messages == 0
+        assert c.payload_flits == 0
+        assert c.avg_latency_ns() is None
+
+    def test_accepted_traffic_unit(self):
+        """1024 payload flits over 1000 ns on 2 switches =
+        0.512 flits/ns/switch."""
+        c = LatencyCollector()
+        c.on_delivered(mk_packet(0, 0, 1, payload=1024))
+        assert c.accepted_flits_ns_switch(1_000_000, 2) == \
+            pytest.approx(0.512)
+
+    def test_accepted_traffic_validation(self):
+        c = LatencyCollector()
+        with pytest.raises(ValueError):
+            c.accepted_flits_ns_switch(0, 2)
+
+    def test_percentiles_require_samples(self):
+        c = LatencyCollector()
+        with pytest.raises(RuntimeError):
+            c.percentile_ns(0.5)
+
+    def test_percentiles(self):
+        c = LatencyCollector(keep_samples=True)
+        for i in range(1, 11):
+            c.on_delivered(mk_packet(0, 0, i * 1_000, pid=i))
+        assert c.percentile_ns(0.0) == 1.0
+        assert c.percentile_ns(0.5) == 6.0
+        assert c.percentile_ns(1.0) == 10.0
+        with pytest.raises(ValueError):
+            c.percentile_ns(1.5)
+
+
+def synthetic_run_at(capacity, window_messages=1000):
+    """Network that accepts min(offered, capacity); past capacity the
+    backlog grows by the excess."""
+    def run_at(rate):
+        accepted = min(rate, capacity)
+        generated = window_messages
+        delivered = int(window_messages * accepted / rate)
+        cfg = SimConfig(injection_rate=rate)
+        return RunSummary(
+            config=cfg, offered_flits_ns_switch=rate,
+            accepted_flits_ns_switch=accepted,
+            messages_delivered=delivered, messages_generated=generated,
+            avg_latency_ns=1000.0, avg_network_latency_ns=900.0,
+            max_latency_ns=2000.0, avg_itbs_per_message=0.0,
+            itb_overflow_count=0, itb_peak_bytes=0, link_utilization=None,
+            backlog_growth=generated - delivered)
+    return run_at
+
+
+class TestSaturationSearch:
+    def test_finds_capacity(self):
+        res = find_saturation(synthetic_run_at(0.03), start_rate=0.005)
+        assert res.throughput == pytest.approx(0.03, rel=0.02)
+        assert res.last_stable_rate <= res.first_saturated_rate
+
+    def test_bracket_tightens_with_refinement(self):
+        lo_res = find_saturation(synthetic_run_at(0.03), 0.005,
+                                 refine_steps=0)
+        hi_res = find_saturation(synthetic_run_at(0.03), 0.005,
+                                 refine_steps=5)
+        width = lambda r: r.first_saturated_rate - r.last_stable_rate
+        assert width(hi_res) < width(lo_res)
+
+    def test_never_saturates_within_bounds(self):
+        res = find_saturation(synthetic_run_at(1e9), 0.005, max_rate=0.1)
+        assert res.first_saturated_rate == float("inf")
+        assert res.throughput > 0
+
+    def test_run_log_kept(self):
+        res = find_saturation(synthetic_run_at(0.03), 0.005)
+        assert len(res.runs) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_saturation(synthetic_run_at(1), 0.0)
+        with pytest.raises(ValueError):
+            find_saturation(synthetic_run_at(1), 0.1, growth=1.0)
+
+
+class TestRunSummarySaturatedFlag:
+    def test_not_saturated(self):
+        s = synthetic_run_at(10.0)(0.02)
+        assert not s.saturated
+
+    def test_saturated(self):
+        s = synthetic_run_at(0.01)(0.02)
+        assert s.saturated
+
+    def test_oneline_smoke(self):
+        s = synthetic_run_at(10.0)(0.02)
+        line = s.oneline()
+        assert "offered=0.0200" in line
+        assert "UP/DOWN" in line

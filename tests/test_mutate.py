@@ -1,0 +1,108 @@
+"""Topology mutation (link/switch failures) and failure-mode routing."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_simulation
+from repro.routing.analysis import route_statistics
+from repro.routing.table import compute_tables
+from repro.topology import build_torus, check_topology
+from repro.topology.mutate import without_links, without_switch
+from repro.units import ns
+
+
+@pytest.fixture(scope="module")
+def torus44():
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)
+
+
+class TestWithoutLinks:
+    def test_removes_exactly_the_links(self, torus44):
+        lid = torus44.link_between(0, 1)
+        g2 = without_links(torus44, [lid])
+        check_topology(g2)
+        assert g2.num_links == torus44.num_links - 1
+        assert g2.link_between(0, 1) is None
+        assert g2.num_switches == torus44.num_switches
+        assert g2.num_hosts == torus44.num_hosts
+
+    def test_hosts_preserved(self, torus44):
+        g2 = without_links(torus44, [0])
+        for h in torus44.hosts:
+            assert g2.host_switch(h.id) == h.switch
+
+    def test_original_untouched(self, torus44):
+        before = torus44.num_links
+        without_links(torus44, [0, 1])
+        assert torus44.num_links == before
+
+    def test_partition_detected(self):
+        # a 1x2 "torus" has a single link: removing it partitions
+        g = build_torus(rows=1, cols=2, hosts_per_switch=1, switch_ports=4)
+        with pytest.raises(ValueError, match="partitions"):
+            without_links(g, [0])
+
+    def test_partition_allowed_when_requested(self):
+        g = build_torus(rows=1, cols=2, hosts_per_switch=1, switch_ports=4)
+        g2 = without_links(g, [0], require_connected=False)
+        assert not g2.is_connected()
+
+    def test_out_of_range(self, torus44):
+        with pytest.raises(ValueError):
+            without_links(torus44, [999])
+
+
+class TestWithoutSwitch:
+    def test_structure(self, torus44):
+        g2 = without_switch(torus44, 5)
+        check_topology(g2)
+        assert g2.num_switches == 15
+        assert g2.num_hosts == 30     # 2 hosts went down with switch 5
+        # old switch 6 is new switch 5; old 4 stays 4
+        assert g2.degree(4) == torus44.degree(4) - 1  # lost link to old 5
+
+    def test_id_shift(self, torus44):
+        g2 = without_switch(torus44, 0)
+        # old link (1, 2) must exist as (0, 1)
+        assert g2.link_between(0, 1) is not None
+
+    def test_out_of_range(self, torus44):
+        with pytest.raises(ValueError):
+            without_switch(torus44, 99)
+
+    def test_last_switch_rejected(self):
+        from repro.topology.graph import NetworkGraph
+        g = NetworkGraph(1, 4)
+        g.add_host(0)
+        g.freeze()
+        with pytest.raises(ValueError):
+            without_switch(g, 0)
+
+
+class TestRoutingAfterFailure:
+    def test_tables_recompute_and_stay_deadlock_free(self, torus44):
+        lid = torus44.link_between(0, 1)
+        g2 = without_links(torus44, [lid])
+        for scheme in ("updown", "itb"):
+            t = compute_tables(g2, scheme)
+            t.validate(g2)   # every leg legal => deadlock-free
+
+    def test_simulation_on_degraded_network(self, torus44):
+        """Traffic still flows after a failure near the root."""
+        lid = torus44.link_between(0, 1)
+        g2 = without_links(torus44, [lid])
+        cfg = SimConfig(topology="torus",    # name only labels the run
+                        routing="itb", policy="rr", traffic="uniform",
+                        injection_rate=0.02,
+                        warmup_ps=ns(30_000), measure_ps=ns(120_000))
+        s = run_simulation(cfg, graph=g2)
+        assert s.messages_delivered > 0
+        assert not s.saturated
+
+    def test_distance_degrades_gracefully(self, torus44):
+        lid = torus44.link_between(0, 1)
+        g2 = without_links(torus44, [lid])
+        before = route_statistics(torus44, compute_tables(torus44, "itb"))
+        after = route_statistics(g2, compute_tables(g2, "itb"))
+        assert after.avg_minimal_distance >= before.avg_minimal_distance
+        assert after.fraction_minimal == 1.0  # ITB stays minimal

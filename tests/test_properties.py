@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random irregular topologies are the adversarial input here: every
+routing-layer guarantee the paper's deadlock-freedom argument rests on
+must hold on *any* connected switch graph, not just the three evaluated
+topologies.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.itb import build_itb_routes, split_path_at_violations
+from repro.routing.minimal import count_minimal_paths, enumerate_minimal_paths
+from repro.routing.simple_routes import compute_simple_routes
+from repro.routing.spanning_tree import build_spanning_tree
+from repro.routing.updown import (enumerate_legal_paths,
+                                  legal_shortest_distances, orient_links)
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.topology import build_irregular, check_topology
+from repro.traffic.bitreversal import reverse_bits
+
+# keep generated networks small: every property walks all pairs
+graphs = st.builds(
+    build_irregular,
+    num_switches=st.integers(min_value=2, max_value=12),
+    hosts_per_switch=st.just(2),
+    max_switch_links=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(graphs)
+@SLOW
+def test_generated_topologies_valid(g):
+    check_topology(g)
+
+
+@given(graphs, st.integers(min_value=0, max_value=11))
+@SLOW
+def test_spanning_tree_levels_are_bfs_distances(g, root_raw):
+    root = root_raw % g.num_switches
+    tree = build_spanning_tree(g, root)
+    assert list(tree.level) == g.shortest_distances(root)
+
+
+@given(graphs)
+@SLOW
+def test_updown_orientation_is_acyclic(g):
+    """Following only 'up' traversals can never cycle: up-links form a
+    DAG ordered by (level, id) -- this is the heart of the
+    deadlock-freedom argument."""
+    ud = orient_links(g, 0)
+    lvl = ud.tree.level
+    for link in g.links:
+        up = ud.up_end[link.id]
+        down = link.other(up)
+        assert (lvl[up], up) < (lvl[down], down)
+
+
+@given(graphs)
+@SLOW
+def test_legal_distances_bounded_by_double_tree_depth(g):
+    """Any pair is reachable legally via the root (up to root, down to
+    destination), so legal distance <= level(src) + level(dst)."""
+    ud = orient_links(g, 0)
+    lvl = ud.tree.level
+    for src in g.switches():
+        legal = legal_shortest_distances(g, ud, src)
+        for dst in g.switches():
+            assert legal[dst] <= lvl[src] + lvl[dst]
+
+
+@given(graphs)
+@SLOW
+def test_every_minimal_path_splits_into_legal_segments(g):
+    ud = orient_links(g, 0)
+    for dst in g.switches():
+        dist = g.shortest_distances(dst)
+        for src in g.switches():
+            if src == dst:
+                continue
+            for p in enumerate_minimal_paths(g, src, dst, dist, 3):
+                segs = split_path_at_violations(g, ud, p)
+                # segments chain and are each legal
+                for seg in segs:
+                    assert ud.path_is_legal(g, seg)
+                flat = list(segs[0])
+                for seg in segs[1:]:
+                    assert seg[0] == flat[-1]
+                    flat.extend(seg[1:])
+                assert tuple(flat) == p
+
+
+@given(graphs)
+@SLOW
+def test_itb_routes_minimal_and_boundary_hosts_correct(g):
+    ud = orient_links(g, 0)
+    routes = build_itb_routes(g, ud, max_routes_per_pair=3)
+    for dst in g.switches():
+        dist = g.shortest_distances(dst)
+        for src in g.switches():
+            for r in routes[(src, dst)]:
+                assert r.switch_hops == max(dist[src], 0)
+                for host, (a, b) in zip(r.itb_hosts,
+                                        zip(r.legs, r.legs[1:])):
+                    assert g.host_switch(host) == a.end == b.start
+
+
+@given(graphs)
+@SLOW
+def test_simple_routes_all_legal_and_complete(g):
+    ud = orient_links(g, 0)
+    routes = compute_simple_routes(g, ud, max_candidates=8)
+    n = g.num_switches
+    assert len(routes) == n * n
+    for (src, dst), path in routes.items():
+        assert path[0] == src and path[-1] == dst
+        assert ud.path_is_legal(g, path)
+
+
+@given(graphs, st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_legal_path_enumeration_sound(g, seed):
+    ud = orient_links(g, 0)
+    rng = random.Random(seed)
+    src = rng.randrange(g.num_switches)
+    dst = rng.randrange(g.num_switches)
+    legal = legal_shortest_distances(g, ud, src)
+    paths = enumerate_legal_paths(g, ud, src, dst, legal[dst] + 1,
+                                  max_paths=16)
+    assert paths, "at least the shortest legal path must be found"
+    for p in paths:
+        assert ud.path_is_legal(g, p)
+        assert len(set(p)) == len(p)
+        assert len(p) - 1 <= legal[dst] + 1
+
+
+@given(graphs)
+@SLOW
+def test_minimal_count_consistent_with_enumeration(g):
+    dst = g.num_switches - 1
+    dist = g.shortest_distances(dst)
+    counts = count_minimal_paths(g, dst, dist)
+    for src in g.switches():
+        enum = enumerate_minimal_paths(g, src, dst, dist,
+                                       max_paths=10_000)
+        assert counts[src] == len(enum)
+
+
+@given(st.integers(min_value=0, max_value=511),
+       st.integers(min_value=1, max_value=9))
+def test_reverse_bits_involution(value, width):
+    v = value % (1 << width)
+    assert reverse_bits(reverse_bits(v, width), width) == v
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                          st.integers(min_value=0, max_value=99)),
+                min_size=1, max_size=40))
+def test_arbiter_grants_every_request_exactly_once(reqs):
+    """Any request sequence drains completely, each token granted once."""
+    arb = RoundRobinArbiter()
+    granted = []
+    for i, (key, _) in enumerate(reqs):
+        arb.request(key, i, lambda i=i: granted.append(i))
+    while arb.busy:
+        arb.release(arb.owner)
+    assert sorted(granted) == list(range(len(reqs)))
+    assert arb.waiting() == 0
+
+
+@given(st.data())
+def test_arbiter_no_starvation(data):
+    """Under continuous backlog on other keys, a queued request is
+    granted within (number of keys) releases of its arrival."""
+    arb = RoundRobinArbiter()
+    keys = data.draw(st.lists(st.sampled_from("abcd"), min_size=4,
+                              max_size=20))
+    granted = []
+    token = 0
+    for k in keys:
+        arb.request(k, token, lambda t=token: granted.append(t))
+        token += 1
+    # victim request on its own key
+    arb.request("victim", "V", lambda: granted.append("V"))
+    releases = 0
+    while arb.busy and "V" not in granted:
+        arb.release(arb.owner)
+        releases += 1
+        assert releases <= 5  # 4 data keys + victim

@@ -1,0 +1,78 @@
+"""RouteLeg / SourceRoute data-structure invariants."""
+
+import pytest
+
+from repro.routing.routes import RouteLeg, SourceRoute
+from repro.topology import build_torus
+
+
+@pytest.fixture(scope="module")
+def g44():
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)
+
+
+class TestRouteLeg:
+    def test_from_switch_path(self, g44):
+        leg = RouteLeg.from_switch_path(g44, (0, 1, 2))
+        assert leg.hops == 2
+        assert leg.start == 0 and leg.end == 2
+        assert leg.links == (g44.link_between(0, 1), g44.link_between(1, 2))
+
+    def test_single_switch(self, g44):
+        leg = RouteLeg.from_switch_path(g44, (5,))
+        assert leg.hops == 0
+        assert leg.start == leg.end == 5
+
+    def test_unlinked_pair_rejected(self, g44):
+        with pytest.raises(ValueError):
+            RouteLeg.from_switch_path(g44, (0, 5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RouteLeg((), ())
+
+    def test_link_count_mismatch(self):
+        with pytest.raises(ValueError):
+            RouteLeg((0, 1), ())
+
+
+class TestSourceRoute:
+    def test_single_leg(self, g44):
+        r = SourceRoute.single_leg(g44, (0, 1, 2))
+        assert r.src == 0 and r.dst == 2
+        assert r.num_itbs == 0
+        assert r.switch_hops == 2
+        assert r.switch_path == (0, 1, 2)
+
+    def test_multi_leg_chaining(self, g44):
+        leg1 = RouteLeg.from_switch_path(g44, (0, 1, 2))
+        leg2 = RouteLeg.from_switch_path(g44, (2, 3))
+        itb_host = g44.hosts_at(2)[0]
+        r = SourceRoute((leg1, leg2), (itb_host,))
+        assert r.src == 0 and r.dst == 3
+        assert r.num_itbs == 1
+        assert r.switch_hops == 3
+        assert r.switch_path == (0, 1, 2, 3)
+        assert list(r.iter_links()) == list(leg1.links) + list(leg2.links)
+
+    def test_broken_chain_rejected(self, g44):
+        leg1 = RouteLeg.from_switch_path(g44, (0, 1))
+        leg2 = RouteLeg.from_switch_path(g44, (2, 3))
+        with pytest.raises(ValueError):
+            SourceRoute((leg1, leg2), (g44.hosts_at(2)[0],))
+
+    def test_itb_count_mismatch_rejected(self, g44):
+        leg1 = RouteLeg.from_switch_path(g44, (0, 1))
+        leg2 = RouteLeg.from_switch_path(g44, (1, 2))
+        with pytest.raises(ValueError):
+            SourceRoute((leg1, leg2), ())
+
+    def test_no_legs_rejected(self):
+        with pytest.raises(ValueError):
+            SourceRoute(())
+
+    def test_trivial_route(self, g44):
+        r = SourceRoute((RouteLeg((7,), ()),))
+        assert r.src == r.dst == 7
+        assert r.switch_hops == 0
+        assert r.switch_path == (7,)

@@ -1,0 +1,112 @@
+"""End-to-end runner integration on small networks."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import (clear_caches, get_graph, get_tables,
+                                      run_simulation)
+from repro.units import ns
+from tests.conftest import small_config
+
+
+class TestRunSimulation:
+    def test_basic_run(self):
+        s = run_simulation(small_config())
+        assert s.messages_delivered > 0
+        assert s.avg_latency_ns is not None and s.avg_latency_ns > 0
+        assert s.accepted_flits_ns_switch > 0
+        assert s.offered_flits_ns_switch == 0.01
+
+    def test_low_load_accepted_tracks_offered(self):
+        # long window so enough messages land for a stable rate estimate
+        s = run_simulation(small_config(
+            injection_rate=0.005, measure_ps=ns(600_000)))
+        assert not s.saturated
+        assert s.accepted_flits_ns_switch == \
+            pytest.approx(0.005, rel=0.12)
+
+    def test_network_latency_below_total(self):
+        s = run_simulation(small_config(injection_rate=0.02))
+        assert s.avg_network_latency_ns <= s.avg_latency_ns
+
+    def test_deterministic_per_seed(self):
+        a = run_simulation(small_config(seed=9))
+        b = run_simulation(small_config(seed=9))
+        assert a.messages_delivered == b.messages_delivered
+        assert a.avg_latency_ns == b.avg_latency_ns
+        assert a.accepted_flits_ns_switch == b.accepted_flits_ns_switch
+
+    def test_seed_changes_results(self):
+        a = run_simulation(small_config(seed=1))
+        b = run_simulation(small_config(seed=2))
+        assert a.avg_latency_ns != b.avg_latency_ns
+
+    def test_updown_zero_itbs(self):
+        s = run_simulation(small_config(routing="updown", policy="sp"))
+        assert s.avg_itbs_per_message == 0.0
+        assert s.itb_peak_bytes == 0
+
+    def test_link_stats_collected_on_request(self):
+        s = run_simulation(small_config(), collect_links=True)
+        assert s.link_utilization is not None
+        u = s.link_utilization
+        assert len(u.per_link) == 32  # 4x4 torus links
+        assert 0 <= u.per_link.max() <= 1.0
+
+    def test_no_link_stats_by_default(self):
+        s = run_simulation(small_config())
+        assert s.link_utilization is None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_simulation(small_config(injection_rate=-1))
+
+    def test_reserved_at_least_utilization(self):
+        s = run_simulation(small_config(injection_rate=0.03),
+                           collect_links=True)
+        u = s.link_utilization
+        assert (u.blocked_fraction() >= -1e-9).all()
+
+    def test_higher_load_higher_latency(self):
+        lo = run_simulation(small_config(injection_rate=0.004))
+        hi = run_simulation(small_config(injection_rate=0.04))
+        assert hi.avg_latency_ns > lo.avg_latency_ns
+
+    def test_saturation_flag_under_overload(self):
+        s = run_simulation(small_config(
+            injection_rate=1.0,
+            warmup_ps=ns(30_000), measure_ps=ns(100_000)))
+        assert s.saturated
+
+
+class TestCaches:
+    def test_graph_cache_hits(self):
+        clear_caches()
+        g1 = get_graph("torus", {"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 2})
+        g2 = get_graph("torus", {"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 2})
+        assert g1 is g2
+
+    def test_graph_cache_distinguishes_kwargs(self):
+        g1 = get_graph("torus", {"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 2})
+        g2 = get_graph("torus", {"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 1})
+        assert g1 is not g2
+
+    def test_table_cache_hits(self):
+        key = ("torus", (("cols", 4), ("hosts_per_switch", 2), ("rows", 4)))
+        g = get_graph("torus", {"rows": 4, "cols": 4,
+                                "hosts_per_switch": 2})
+        t1 = get_tables(g, key, "itb")
+        t2 = get_tables(g, key, "itb")
+        assert t1 is t2
+        t3 = get_tables(g, key, "updown")
+        assert t3 is not t1
+
+    def test_clear(self):
+        g1 = get_graph("cplant", {})
+        clear_caches()
+        g2 = get_graph("cplant", {})
+        assert g1 is not g2

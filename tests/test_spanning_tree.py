@@ -1,0 +1,67 @@
+"""BFS spanning tree construction."""
+
+import pytest
+
+from repro.routing.spanning_tree import build_spanning_tree
+from repro.topology import build_torus
+from repro.topology.graph import NetworkGraph
+
+
+def test_root_level_zero(torus44):
+    t = build_spanning_tree(torus44, root=0)
+    assert t.level[0] == 0
+    assert t.parent[0] == -1
+
+
+def test_levels_match_bfs_distance(torus44):
+    t = build_spanning_tree(torus44, root=5)
+    dist = torus44.shortest_distances(5)
+    assert list(t.level) == dist
+
+
+def test_parent_one_level_up(torus44):
+    t = build_spanning_tree(torus44, root=0)
+    for s in torus44.switches():
+        if s == 0:
+            continue
+        assert t.level[t.parent[s]] == t.level[s] - 1
+        assert torus44.link_between(s, t.parent[s]) is not None
+
+
+def test_deterministic(torus44):
+    a = build_spanning_tree(torus44, root=0)
+    b = build_spanning_tree(torus44, root=0)
+    assert a == b
+
+
+def test_parent_prefers_lower_id(torus44):
+    """Tie-breaking is toward the lower-id switch (deterministic)."""
+    t = build_spanning_tree(torus44, root=0)
+    # switch 5 is at distance 2 via 1 or 4; BFS explores sorted, so 1 wins
+    assert t.parent[5] == 1
+
+
+def test_depth(torus44):
+    t = build_spanning_tree(torus44, root=0)
+    assert t.depth() == max(torus44.shortest_distances(0))
+
+
+def test_root_out_of_range(torus44):
+    with pytest.raises(ValueError):
+        build_spanning_tree(torus44, root=99)
+
+
+def test_disconnected_rejected():
+    g = NetworkGraph(3, 4)
+    g.add_link(0, 1)
+    g.add_host(2)
+    g.freeze()
+    with pytest.raises(ValueError):
+        build_spanning_tree(g, root=0)
+
+
+def test_alternative_root():
+    g = build_torus(rows=4, cols=4, hosts_per_switch=1)
+    t = build_spanning_tree(g, root=10)
+    assert t.root == 10
+    assert t.level[10] == 0

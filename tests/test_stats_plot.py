@@ -1,0 +1,115 @@
+"""Batch-means statistics and the terminal curve plotter."""
+
+import math
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.plot import render_curves
+from repro.experiments.sweep import SweepResult
+from repro.metrics.stats import ConfidenceInterval, batch_means, t_critical_95
+from repro.metrics.summary import RunSummary
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(9) == pytest.approx(2.262)
+        assert t_critical_95(100) == pytest.approx(1.96)
+
+    def test_rejects_zero_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestBatchMeans:
+    def test_constant_samples_zero_width(self):
+        ci = batch_means([5.0] * 100, batches=10)
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 5.0
+
+    def test_mean_recovered(self):
+        rng = random.Random(4)
+        data = [rng.gauss(100, 10) for _ in range(2_000)]
+        ci = batch_means(data, batches=20)
+        assert abs(ci.mean - 100) < 2
+        assert ci.low < 100 < ci.high
+
+    def test_interval_shrinks_with_samples(self):
+        rng = random.Random(5)
+        small = [rng.gauss(0, 1) for _ in range(200)]
+        big = small * 20  # same distribution, 20x the data
+        assert batch_means(big, 10).half_width < \
+            batch_means(small, 10).half_width
+
+    def test_overlap(self):
+        a = ConfidenceInterval(10, 2, 10)
+        b = ConfidenceInterval(13, 2, 10)
+        c = ConfidenceInterval(20, 2, 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_relative_half_width(self):
+        ci = ConfidenceInterval(100, 5, 10)
+        assert ci.relative_half_width() == 0.05
+        assert math.isinf(ConfidenceInterval(0, 5, 10).relative_half_width())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 100, batches=1)
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 5, batches=10)
+
+
+def mk_run(rate, accepted, lat, saturated=False):
+    return RunSummary(
+        config=SimConfig(injection_rate=rate),
+        offered_flits_ns_switch=rate, accepted_flits_ns_switch=accepted,
+        messages_delivered=500, messages_generated=500,
+        avg_latency_ns=lat, avg_network_latency_ns=lat * 0.9,
+        max_latency_ns=lat * 3, avg_itbs_per_message=0.0,
+        itb_overflow_count=0, itb_peak_bytes=0, link_utilization=None,
+        backlog_growth=100 if saturated else 0)
+
+
+class TestRenderCurves:
+    def mk_series(self):
+        a = SweepResult("UP/DOWN", [mk_run(0.01, 0.01, 5_000),
+                                    mk_run(0.015, 0.015, 8_000),
+                                    mk_run(0.02, 0.016, 40_000, True)])
+        b = SweepResult("ITB-RR", [mk_run(0.01, 0.01, 5_200),
+                                   mk_run(0.02, 0.02, 6_000),
+                                   mk_run(0.03, 0.03, 9_000)])
+        return [a, b]
+
+    def test_contains_axes_and_legend(self):
+        text = render_curves(self.mk_series(), title="demo")
+        assert "demo" in text
+        assert "o UP/DOWN" in text
+        assert "x ITB-RR" in text
+        assert "accepted traffic" in text
+
+    def test_glyphs_plotted(self):
+        text = render_curves(self.mk_series())
+        body = text.split("\n")[2:-2]
+        joined = "".join(body)
+        assert "o" in joined and "x" in joined
+
+    def test_dimensions(self):
+        text = render_curves(self.mk_series(), width=40, height=10)
+        rows = [l for l in text.split("\n") if l.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(r) == 41 for r in rows)
+
+    def test_empty(self):
+        assert render_curves([SweepResult("x", [])]) == "(no data)"
+
+    def test_latency_cap_applied(self):
+        # the saturated point's huge latency must not squash the plot:
+        # with the default cap the stable points span several rows
+        text = render_curves(self.mk_series())
+        rows = [l for l in text.split("\n") if l.startswith("|")]
+        occupied = {i for i, r in enumerate(rows) if r.strip("| ")}
+        assert len(occupied) >= 3

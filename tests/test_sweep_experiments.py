@@ -1,0 +1,97 @@
+"""Sweeps, profiles, the experiment registry and tables machinery."""
+
+import pytest
+
+from repro.experiments.profiles import BENCH, PAPER, TEST, Profile
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.sweep import sweep_rates
+from repro.experiments.tables import pick_hotspots
+from repro.units import ns
+from tests.conftest import small_config
+
+
+class TestSweep:
+    def test_curve_shape(self):
+        base = small_config(measure_ps=ns(150_000))
+        res = sweep_rates(base, [0.005, 0.02, 0.08])
+        assert res.label == "ITB-RR"
+        assert res.rates == sorted(res.rates)
+        assert len(res.runs) >= 2
+        # latency must be non-decreasing in offered load (modulo noise)
+        lats = [l for l in res.latencies_ns if l is not None]
+        assert lats[-1] > lats[0]
+
+    def test_stops_after_saturation(self):
+        base = small_config(measure_ps=ns(100_000))
+        res = sweep_rates(base, [0.01, 0.3, 0.5, 0.7, 0.9],
+                          stop_after_saturation=1)
+        # at most (first saturated + 1 more) simulated
+        n_sat = sum(1 for r in res.runs if r.saturated)
+        assert n_sat <= 2
+        assert len(res.runs) < 5
+
+    def test_throughput_and_saturation_rate(self):
+        base = small_config(measure_ps=ns(100_000))
+        res = sweep_rates(base, [0.01, 0.5])
+        assert res.saturation_rate() == 0.5
+        # throughput is the knee: the best *non-saturated* point
+        stable = [r.accepted_flits_ns_switch for r in res.runs
+                  if not r.saturated]
+        assert res.throughput() == max(stable)
+
+    def test_throughput_fallback_when_all_saturated(self):
+        base = small_config(measure_ps=ns(100_000))
+        res = sweep_rates(base, [0.5, 0.9])
+        assert all(r.saturated for r in res.runs)
+        assert res.throughput() == max(res.accepted)
+
+
+class TestProfiles:
+    def test_registry_profiles(self):
+        for p in (BENCH, PAPER, TEST):
+            assert isinstance(p, Profile)
+            assert p.measure_ps > 0
+
+    def test_thin_keeps_last(self):
+        rates = [0.01, 0.02, 0.03, 0.04, 0.05]
+        thinned = BENCH.thin(rates)  # stride 2
+        assert thinned[0] == 0.01
+        assert thinned[-1] == 0.05
+        assert len(thinned) < len(rates)
+
+    def test_thin_stride_one_identity(self):
+        rates = [0.01, 0.02, 0.03]
+        assert PAPER.thin(rates) == rates
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        expected = {"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10a",
+                    "fig10b", "fig11", "fig12a", "fig12b", "fig12c",
+                    "table1", "table2", "table3"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_kinds(self):
+        assert EXPERIMENTS["fig7a"].kind == "latency-panel"
+        assert EXPERIMENTS["fig8"].kind == "link-map"
+        assert EXPERIMENTS["table1"].kind == "hotspot-table"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", TEST)
+
+
+class TestHotspotPicks:
+    def test_deterministic(self):
+        a = pick_hotspots("torus", 5)
+        b = pick_hotspots("torus", 5)
+        assert a == b
+
+    def test_distinct_and_in_range(self):
+        locs = pick_hotspots("torus", 10)
+        assert len(set(locs)) == 10
+        assert all(0 <= h < 512 for h in locs)
+
+    def test_seed_changes_picks(self):
+        assert pick_hotspots("torus", 5, seed=1) != \
+            pick_hotspots("torus", 5, seed=2)

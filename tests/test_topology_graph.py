@@ -1,0 +1,130 @@
+"""NetworkGraph construction, invariants and queries."""
+
+import pytest
+
+from repro.topology.graph import Host, Link, NetworkGraph
+
+
+class TestLink:
+    def test_canonical_order_enforced(self):
+        with pytest.raises(ValueError):
+            Link(0, 3, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0, 2, 2)
+
+    def test_other(self):
+        ln = Link(0, 1, 4)
+        assert ln.other(1) == 4
+        assert ln.other(4) == 1
+        with pytest.raises(ValueError):
+            ln.other(2)
+
+    def test_endpoints(self):
+        assert Link(0, 1, 4).endpoints() == (1, 4)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkGraph(0)
+
+    def test_add_link_both_orders_same_cable(self):
+        g = NetworkGraph(3, 4)
+        lid = g.add_link(2, 0)
+        assert g.links[lid].endpoints() == (0, 2)
+        assert g.link_between(0, 2) == lid
+        assert g.link_between(2, 0) == lid
+
+    def test_parallel_links_rejected(self):
+        g = NetworkGraph(2, 4)
+        g.add_link(0, 1)
+        with pytest.raises(ValueError):
+            g.add_link(1, 0)
+
+    def test_port_budget_enforced(self):
+        g = NetworkGraph(2, 2)
+        g.add_link(0, 1)
+        g.add_host(0)
+        with pytest.raises(ValueError):
+            g.add_host(0)  # switch 0's 2 ports are used
+
+    def test_out_of_range_switch(self):
+        g = NetworkGraph(2, 4)
+        with pytest.raises(ValueError):
+            g.add_host(2)
+        with pytest.raises(ValueError):
+            g.add_link(0, 5)
+
+    def test_freeze_blocks_mutation(self):
+        g = NetworkGraph(2, 4)
+        g.add_link(0, 1)
+        g.freeze()
+        with pytest.raises(RuntimeError):
+            g.add_host(0)
+        with pytest.raises(RuntimeError):
+            g.add_link(0, 1)
+
+    def test_add_hosts_bulk(self):
+        g = NetworkGraph(1, 8)
+        ids = g.add_hosts(0, 3)
+        assert ids == [0, 1, 2]
+        assert list(g.hosts_at(0)) == [0, 1, 2]
+
+
+class TestQueries:
+    @pytest.fixture()
+    def line(self):
+        """0 -- 1 -- 2 with one host each."""
+        g = NetworkGraph(3, 4, name="line")
+        g.add_link(0, 1)
+        g.add_link(1, 2)
+        for s in range(3):
+            g.add_host(s)
+        return g.freeze()
+
+    def test_counts(self, line):
+        assert line.num_switches == 3
+        assert line.num_hosts == 3
+        assert line.num_links == 2
+
+    def test_neighbors_and_degree(self, line):
+        assert line.degree(1) == 2
+        assert {nb for nb, _ in line.neighbors(1)} == {0, 2}
+        assert line.degree(0) == 1
+
+    def test_ports(self, line):
+        assert line.ports_used(1) == 3  # two links + one host
+        assert line.ports_free(1) == 1
+
+    def test_host_switch(self, line):
+        for h in line.hosts:
+            assert line.host_switch(h.id) == h.switch
+
+    def test_connected(self, line):
+        assert line.is_connected()
+
+    def test_disconnected_detected(self):
+        g = NetworkGraph(3, 4)
+        g.add_link(0, 1)
+        assert not g.is_connected()
+
+    def test_shortest_distances(self, line):
+        assert line.shortest_distances(0) == [0, 1, 2]
+        assert line.shortest_distances(1) == [1, 0, 1]
+
+    def test_shortest_distances_unreachable(self):
+        g = NetworkGraph(3, 4)
+        g.add_link(0, 1)
+        assert g.shortest_distances(0) == [0, 1, -1]
+
+    def test_all_pairs_distances_symmetric(self, line):
+        d = line.all_pairs_distances()
+        for a in range(3):
+            for b in range(3):
+                assert d[a][b] == d[b][a]
+
+    def test_host_dataclass(self):
+        h = Host(3, 1)
+        assert h.id == 3 and h.switch == 1

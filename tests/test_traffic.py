@@ -1,0 +1,239 @@
+"""Traffic patterns and the constant-rate generation process."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.config import PAPER_PARAMS
+from repro.routing.policies import SinglePathPolicy
+from repro.routing.table import compute_tables
+from repro.sim.engine import Simulator
+from repro.sim.network import WormholeNetwork
+from repro.topology import build_torus
+from repro.traffic import make_pattern
+from repro.traffic.base import TrafficProcess, per_host_interval_ps
+from repro.traffic.bitreversal import BitReversalTraffic, reverse_bits
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.local import LocalTraffic
+from repro.traffic.permutation import ComplementTraffic, TransposeTraffic
+from repro.traffic.uniform import UniformTraffic
+from repro.units import PS_PER_NS
+
+
+@pytest.fixture(scope="module")
+def g():
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)  # 32 hosts
+
+
+class TestUniform:
+    def test_never_self(self, g):
+        pat = UniformTraffic(g)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert pat.destination(7, rng) != 7
+
+    def test_all_destinations_reachable(self, g):
+        pat = UniformTraffic(g)
+        rng = random.Random(2)
+        seen = {pat.destination(0, rng) for _ in range(5000)}
+        assert seen == set(range(1, g.num_hosts))
+
+    def test_roughly_uniform(self, g):
+        pat = UniformTraffic(g)
+        rng = random.Random(3)
+        counts = Counter(pat.destination(5, rng) for _ in range(31_000))
+        assert min(counts.values()) > 600  # E = 1000 per destination
+        assert max(counts.values()) < 1400
+
+
+class TestBitReversal:
+    def test_reverse_bits(self):
+        assert reverse_bits(0b00001, 5) == 0b10000
+        assert reverse_bits(0b10110, 5) == 0b01101
+        assert reverse_bits(0, 5) == 0
+        with pytest.raises(ValueError):
+            reverse_bits(32, 5)
+
+    def test_fixed_permutation(self, g):
+        pat = BitReversalTraffic(g)  # 32 hosts -> 5 bits
+        rng = random.Random(1)
+        assert pat.destination(1, rng) == 16
+        assert pat.destination(16, rng) == 1
+
+    def test_palindromes_inactive(self, g):
+        pat = BitReversalTraffic(g)
+        rng = random.Random(1)
+        assert pat.destination(0, rng) is None       # 00000
+        assert pat.destination(0b10001, rng) is None
+        assert 0 not in pat.active_hosts()
+
+    def test_active_host_count(self, g):
+        # 5-bit palindromes: 2^3 = 8 of 32
+        pat = BitReversalTraffic(g)
+        assert len(pat.active_hosts()) == 32 - 8
+
+    def test_non_power_of_two_rejected(self):
+        g3 = build_torus(rows=1, cols=3, hosts_per_switch=1)
+        with pytest.raises(ValueError):
+            BitReversalTraffic(g3)
+
+    def test_involution(self, g):
+        pat = BitReversalTraffic(g)
+        rng = random.Random(1)
+        for h in pat.active_hosts():
+            d = pat.destination(h, rng)
+            assert pat.destination(d, rng) == h
+
+
+class TestHotspot:
+    def test_hotspot_share(self, g):
+        pat = HotspotTraffic(g, hotspot=9, fraction=0.2)
+        rng = random.Random(4)
+        n = 20_000
+        hits = sum(pat.destination(3, rng) == 9 for _ in range(n))
+        # ~20% explicit hotspot picks plus ~1/31 uniform residue
+        assert 0.18 < hits / n < 0.28
+
+    def test_hotspot_host_sends_uniform(self, g):
+        pat = HotspotTraffic(g, hotspot=9, fraction=0.5)
+        rng = random.Random(5)
+        for _ in range(200):
+            assert pat.destination(9, rng) != 9
+
+    def test_never_self(self, g):
+        pat = HotspotTraffic(g, hotspot=9, fraction=0.3)
+        rng = random.Random(6)
+        for src in (0, 9, 31):
+            for _ in range(200):
+                assert pat.destination(src, rng) != src
+
+    def test_param_validation(self, g):
+        with pytest.raises(ValueError):
+            HotspotTraffic(g, hotspot=99)
+        with pytest.raises(ValueError):
+            HotspotTraffic(g, hotspot=0, fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotTraffic(g, hotspot=0, fraction=1.0)
+
+
+class TestLocal:
+    def test_destinations_within_radius(self, g):
+        pat = LocalTraffic(g, radius=2)
+        rng = random.Random(7)
+        for src in (0, 13, 31):
+            src_sw = g.host_switch(src)
+            dist = g.shortest_distances(src_sw)
+            for _ in range(300):
+                d = pat.destination(src, rng)
+                assert d != src
+                assert dist[g.host_switch(d)] <= 2
+
+    def test_radius_zero_same_switch_only(self, g):
+        pat = LocalTraffic(g, radius=0)
+        rng = random.Random(8)
+        for src in range(g.num_hosts):
+            d = pat.destination(src, rng)
+            assert g.host_switch(d) == g.host_switch(src)
+            assert d != src
+
+    def test_radius_covers_everything(self, g):
+        pat = LocalTraffic(g, radius=99)
+        rng = random.Random(9)
+        seen = {pat.destination(0, rng) for _ in range(3000)}
+        assert len(seen) == g.num_hosts - 1
+
+    def test_negative_radius_rejected(self, g):
+        with pytest.raises(ValueError):
+            LocalTraffic(g, radius=-1)
+
+    def test_radius_zero_single_host_per_switch_rejected(self):
+        g1 = build_torus(rows=2, cols=2, hosts_per_switch=1)
+        with pytest.raises(ValueError):
+            LocalTraffic(g1, radius=0)
+
+
+class TestPermutations:
+    def test_complement(self, g):
+        pat = ComplementTraffic(g)
+        rng = random.Random(1)
+        assert pat.destination(0, rng) == 31
+        assert pat.destination(31, rng) == 0
+
+    def test_transpose_involution(self):
+        g16 = build_torus(rows=4, cols=4, hosts_per_switch=1)  # 16 hosts
+        pat = TransposeTraffic(g16)
+        rng = random.Random(1)
+        for h in pat.active_hosts():
+            assert pat.destination(pat.destination(h, rng), rng) == h
+
+    def test_transpose_needs_even_width(self, g):
+        with pytest.raises(ValueError):
+            TransposeTraffic(g)  # 32 hosts -> 5 bits, odd
+
+
+class TestMakePattern:
+    def test_registry(self, g):
+        assert make_pattern("uniform", g).name == "uniform"
+        assert make_pattern("hotspot", g, hotspot=3).hotspot == 3
+        with pytest.raises(ValueError):
+            make_pattern("zipf", g)
+
+
+class TestInterval:
+    def test_paper_unit_round_trip(self, g):
+        """rate * switches == hosts * msg / interval (flits/ns)."""
+        rate = 0.02
+        interval = per_host_interval_ps(rate, 512, g)
+        implied = 512 * g.num_hosts * PS_PER_NS / (interval * g.num_switches)
+        assert implied == pytest.approx(rate, rel=1e-6)
+
+    def test_bad_rate(self, g):
+        with pytest.raises(ValueError):
+            per_host_interval_ps(0, 512, g)
+
+
+class TestTrafficProcess:
+    def make(self, g, seed=1, interval=200_000, max_messages=0):
+        sim = Simulator()
+        tables = compute_tables(g, "updown")
+        net = WormholeNetwork(sim, g, tables, SinglePathPolicy(),
+                              PAPER_PARAMS, message_bytes=64)
+        pat = UniformTraffic(g)
+        proc = TrafficProcess(sim, net, pat, interval, seed,
+                              max_messages=max_messages)
+        return sim, net, proc
+
+    def test_constant_rate(self, g):
+        sim, net, proc = self.make(g, interval=250_000)
+        proc.start()
+        horizon = 10_000_000
+        sim.run_until(horizon)
+        expected = g.num_hosts * horizon / 250_000
+        assert abs(net.generated - expected) / expected < 0.05
+
+    def test_deterministic_per_seed(self, g):
+        results = []
+        for _ in range(2):
+            sim, net, proc = self.make(g, seed=42)
+            proc.start()
+            sim.run_until(3_000_000)
+            results.append(net.generated)
+        assert results[0] == results[1]
+
+    def test_max_messages_cap(self, g):
+        sim, net, proc = self.make(g, max_messages=10)
+        proc.start()
+        sim.run_until(50_000_000)
+        assert proc.generated == 10
+
+    def test_double_start_rejected(self, g):
+        _, _, proc = self.make(g)
+        proc.start()
+        with pytest.raises(RuntimeError):
+            proc.start()
+
+    def test_bad_interval(self, g):
+        sim, net, _ = self.make(g)
+        with pytest.raises(ValueError):
+            TrafficProcess(sim, net, UniformTraffic(g), 0, 1)

@@ -1,0 +1,43 @@
+"""Units and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_ns_round_trip():
+    assert units.ns(6.25) == 6250
+    assert units.to_ns(6250) == 6.25
+
+
+def test_ns_exact_paper_constants():
+    assert units.ns(49.2) == 49200
+    assert units.ns(150.0) == 150_000
+    assert units.ns(275.0) == 275_000
+    assert units.ns(200.0) == 200_000
+
+
+def test_us_ms():
+    assert units.us(1) == 1_000_000
+    assert units.ms(1) == 1_000_000_000
+    assert units.us(0.5) == 500_000
+
+
+def test_ns_rounds_to_nearest_ps():
+    assert units.ns(0.0004) == 0  # 0.4 ps rounds down
+    assert units.ns(0.0006) == 1  # 0.6 ps rounds up
+
+
+def test_flits_per_ns():
+    # 1000 flits over 1000 ns -> 1 flit/ns
+    assert units.flits_per_ns(1000, units.ns(1000)) == pytest.approx(1.0)
+
+
+def test_flits_per_ns_rejects_empty_window():
+    with pytest.raises(ValueError):
+        units.flits_per_ns(10, 0)
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
