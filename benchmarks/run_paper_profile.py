@@ -4,29 +4,61 @@
 Writes incremental, human-readable results to ``results/paper_results.txt``
 and a machine-readable summary to ``results/paper_results.json``; both are
 the source of EXPERIMENTS.md.  Expect this to take on the order of an
-hour in pure Python -- the bench suite (``pytest benchmarks/
+hour in pure Python sequentially -- ``--workers N`` fans the simulation
+points out across cores through the orchestrator, and the result store
+(``--cache-dir``, default ``.repro_cache``) checkpoints every finished
+point, so an interrupted run resumes where it stopped instead of
+starting over.  The bench suite (``pytest benchmarks/
 --benchmark-only``) is the fast everyday variant.
 
 Usage:  python benchmarks/run_paper_profile.py [exp_id ...]
+            [--workers N] [--cache-dir DIR] [--no-cache]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-import sys
 import time
 
 from repro.experiments.profiles import PAPER
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import (render_figure, render_hotspot_table,
                                       render_link_map)
+from repro.orchestrator import (DEFAULT_CACHE_DIR, Executor,
+                                ProgressReporter, ResultStore)
 
 GRIDS = {"fig8": (8, 8), "fig9": (8, 8), "fig11": (8, 8)}
 
 
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("exp_ids", nargs="*", metavar="exp_id",
+                   help="artefacts to regenerate (default: all)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel simulation workers (1 = in-process)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="orchestrator result-store directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result store")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-point timeout in seconds")
+    return p.parse_args()
+
+
 def main() -> None:
-    wanted = sys.argv[1:] or list(EXPERIMENTS)
+    args = parse_args()
+    wanted = args.exp_ids or list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment ids: {unknown}; "
+                         f"available: {sorted(EXPERIMENTS)}")
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    executor = Executor(workers=args.workers, store=store,
+                        timeout_s=args.task_timeout,
+                        reporter=ProgressReporter())
+
     os.makedirs("results", exist_ok=True)
     txt_path = os.path.join("results", "paper_results.txt")
     json_path = os.path.join("results", "paper_results.json")
@@ -38,7 +70,7 @@ def main() -> None:
             t0 = time.time()
             print(f"[{time.strftime('%H:%M:%S')}] running {exp_id} "
                   f"({exp.description}) ...", flush=True)
-            result = run_experiment(exp_id, PAPER)
+            result = run_experiment(exp_id, PAPER, executor=executor)
             elapsed = time.time() - t0
 
             if exp.kind == "latency-panel":
@@ -67,7 +99,8 @@ def main() -> None:
             txt.flush()
             with open(json_path, "w") as jf:
                 json.dump(summary, jf, indent=2)
-            print(f"    done in {elapsed:.0f}s", flush=True)
+            print(f"    done in {elapsed:.0f}s "
+                  f"({executor.stats.oneline()})", flush=True)
     print(f"wrote {txt_path} and {json_path}")
 
 

@@ -31,6 +31,8 @@ from .metrics import (LatencyCollector, LinkUtilization, RunSummary,
 from .routing import (RoutingTables, SourceRoute, compute_tables,
                       make_policy, route_statistics)
 from .experiments.compare import ComparisonResult, compare_configs
+from .orchestrator import (Campaign, CampaignError, Executor, Point,
+                           ProgressReporter, ResultStore, WorkerPool)
 from .sim import (DeadlockError, FlitLevelNetwork, Packet, PacketTracer,
                   Simulator, WormholeNetwork, format_trace)
 from .topology import (NetworkGraph, build, build_cplant, build_irregular,
@@ -74,6 +76,13 @@ __all__ = [
     "FlitLevelNetwork",
     "ComparisonResult",
     "compare_configs",
+    "Campaign",
+    "CampaignError",
+    "Executor",
+    "Point",
+    "ProgressReporter",
+    "ResultStore",
+    "WorkerPool",
     "NetworkGraph",
     "build",
     "build_torus",

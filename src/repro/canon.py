@@ -1,0 +1,68 @@
+"""Canonical freezing and hashing of plain-data values.
+
+Two consumers need an order- and representation-insensitive view of
+nested keyword arguments:
+
+* the runner's graph/table memo caches key on frozen ``topology_kwargs``
+  (which may contain nested dicts and lists);
+* the orchestrator's result store keys cache entries on a SHA-256 of
+  the full point description (config + runner kwargs + code version).
+
+Both go through this module so a config hashes identically no matter
+where it was built.  ``freeze`` produces a hashable tuple tree for
+in-memory dict keys; ``canonical_json`` produces a byte-stable JSON
+encoding (sorted keys, no whitespace) for on-disk keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = ["freeze", "canonical_json", "digest"]
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable canonical form.
+
+    Mappings become key-sorted ``(key, value)`` tuples, sequences and
+    sets become tuples (sets are sorted by repr for a stable order);
+    scalars pass through.  Two equal nested structures freeze to equal
+    (and equally-hashable) values regardless of insertion order.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted(((str(k), freeze(v)) for k, v in value.items()),
+                            key=lambda kv: kv[0]))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((freeze(v) for v in value), key=repr))
+    return value
+
+
+def _plain(value: Any) -> Any:
+    """JSON-encodable mirror of ``freeze``'s normalisation."""
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_plain(v) for v in value), key=repr)
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Byte-stable JSON: sorted keys, compact separators.
+
+    Floats round-trip exactly through Python's JSON (repr-based), so a
+    value hashed here and later re-read from disk re-hashes to the same
+    digest.
+    """
+    return json.dumps(_plain(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def digest(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

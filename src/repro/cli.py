@@ -20,13 +20,22 @@ Commands
 ``list``
     The experiment registry.
 
+``cache {info,clear}``
+    Inspect or empty the orchestrator's on-disk result store.
+
+``sweep`` and ``experiment`` accept ``--workers N`` (parallel worker
+pool), ``--cache-dir`` and ``--no-cache`` (result store); a repeated
+invocation of a completed campaign is served entirely from the store.
+
 Examples::
 
     python -m repro info torus
     python -m repro run --topology cplant --routing itb --policy rr \
         --traffic uniform --rate 0.05
     python -m repro sweep --routing updown --rates 0.005,0.01,0.015,0.02
-    python -m repro experiment fig7a --profile bench
+    python -m repro sweep --workers 4 --rates 0.005,0.01,0.02,0.03
+    python -m repro experiment fig7a --profile bench --workers 4
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from .experiments.report import (render_figure, render_hotspot_table,
                                  render_link_map)
 from .experiments.runner import get_graph, get_tables, run_simulation
 from .experiments.sweep import sweep_rates
+from .orchestrator import (DEFAULT_CACHE_DIR, Executor, ProgressReporter,
+                           ResultStore)
 from .routing.analysis import route_statistics
 from .units import ns
 
@@ -69,6 +80,40 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--warmup-ns", type=float, default=100_000)
     p.add_argument("--measure-ns", type=float, default=400_000)
     p.add_argument("--engine", default="packet", choices=["packet", "flit"])
+    p.add_argument("--rows", type=int, default=None,
+                   help="grid rows (torus/torus-express/mesh; "
+                        "default: the paper's size)")
+    p.add_argument("--cols", type=int, default=None,
+                   help="grid columns (torus/torus-express/mesh)")
+    p.add_argument("--hosts-per-switch", type=int, default=None,
+                   help="hosts per switch (torus/torus-express/mesh)")
+
+
+def _add_exec_options(p: argparse.ArgumentParser) -> None:
+    """Orchestrator knobs: worker pool + result store."""
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel simulation workers (1 = in-process)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="result-store directory (checkpoint/resume)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result store")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-point timeout in seconds (hung workers are "
+                        "killed and the point retried)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts for crashed/hung points")
+
+
+def _make_executor(args: argparse.Namespace,
+                   progress: bool = True) -> Optional[Executor]:
+    """Executor from CLI flags; None when the plain path suffices."""
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    if args.workers <= 1 and store is None:
+        return None
+    reporter = ProgressReporter() if progress else None
+    return Executor(workers=args.workers, store=store,
+                    timeout_s=args.task_timeout, retries=args.retries,
+                    reporter=reporter)
 
 
 def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
@@ -78,8 +123,17 @@ def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
                           "fraction": args.hotspot_fraction}
     elif args.traffic == "local":
         traffic_kwargs = {"radius": args.radius}
+    topology_kwargs = {}
+    if args.topology in ("torus", "torus-express", "mesh"):
+        if args.rows is not None:
+            topology_kwargs["rows"] = args.rows
+        if args.cols is not None:
+            topology_kwargs["cols"] = args.cols
+        if args.hosts_per_switch is not None:
+            topology_kwargs["hosts_per_switch"] = args.hosts_per_switch
     return SimConfig(
-        topology=args.topology, routing=args.routing, policy=args.policy,
+        topology=args.topology, topology_kwargs=topology_kwargs,
+        routing=args.routing, policy=args.policy,
         traffic=args.traffic, traffic_kwargs=traffic_kwargs,
         injection_rate=rate, message_bytes=args.message_bytes,
         seed=args.seed, warmup_ps=ns(args.warmup_ns),
@@ -125,7 +179,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     rates = [float(r) for r in args.rates.split(",")]
     base = _config_from(args, rates[0])
-    curve = sweep_rates(base, rates)
+    executor = _make_executor(args)
+    curve = sweep_rates(base, rates, executor=executor)
     print(f"{'offered':>9s} {'accepted':>9s} {'lat(ns)':>10s} {'sat':>4s}")
     for r in curve.runs:
         lat = (f"{r.avg_latency_ns:10.0f}"
@@ -134,6 +189,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{r.accepted_flits_ns_switch:9.4f} {lat} "
               f"{'yes' if r.saturated else 'no':>4s}")
     print(f"throughput (knee): {curve.throughput():.4f} flits/ns/switch")
+    if executor is not None:
+        print(f"points: {executor.stats.oneline()}")
     return 0
 
 
@@ -144,7 +201,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.exp_id!r}; try: "
               + " ".join(sorted(EXPERIMENTS)), file=sys.stderr)
         return 2
-    result = run_experiment(args.exp_id, profile)
+    executor = _make_executor(args)
+    result = run_experiment(args.exp_id, profile, executor=executor)
     if exp.kind == "latency-panel":
         print(render_figure(result))
         if args.plot:
@@ -159,6 +217,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             print()
     else:
         print(render_hotspot_table(result))
+    if executor is not None:
+        print(f"points: {executor.stats.oneline()}", file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    if args.cache_cmd == "info":
+        print(store.info().oneline())
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} cached results from {args.cache_dir}")
     return 0
 
 
@@ -190,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="latency-vs-traffic curve")
     _add_run_options(p)
+    _add_exec_options(p)
     p.add_argument("--rates", default="0.005,0.01,0.02,0.03",
                    help="comma-separated offered loads")
     p.set_defaults(fn=cmd_sweep)
@@ -199,10 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
     p.add_argument("--plot", action="store_true",
                    help="also render an ASCII latency/traffic plot")
+    _add_exec_options(p)
     p.set_defaults(fn=cmd_experiment)
 
     p = sub.add_parser("list", help="list paper artefacts")
     p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("cache", help="orchestrator result-store tools")
+    p.add_argument("cache_cmd", choices=["info", "clear"])
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 

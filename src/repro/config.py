@@ -12,8 +12,8 @@ the warm-up / measurement windows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping
 
 from .units import KB, ns
 
@@ -59,6 +59,19 @@ class MyrinetParams:
     def with_overrides(self, **kw: Any) -> "MyrinetParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **kw)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe; all fields are ints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MyrinetParams":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MyrinetParams fields {sorted(unknown)}")
+        return cls(**dict(data))
 
     @property
     def header_type_bytes(self) -> int:
@@ -161,3 +174,41 @@ class SimConfig:
     def with_overrides(self, **kw: Any) -> "SimConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kw)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form, JSON-safe; ``params`` is nested.
+
+        The round trip ``SimConfig.from_dict(cfg.to_dict()) == cfg``
+        holds exactly (all fields are ints, floats, strings or plain
+        containers), which is what lets the orchestrator's result store
+        key on, and faithfully reconstruct, run descriptions.
+        """
+        return {
+            "topology": self.topology,
+            "topology_kwargs": dict(self.topology_kwargs),
+            "routing": self.routing,
+            "policy": self.policy,
+            "traffic": self.traffic,
+            "traffic_kwargs": dict(self.traffic_kwargs),
+            "injection_rate": self.injection_rate,
+            "message_bytes": self.message_bytes,
+            "params": self.params.to_dict(),
+            "seed": self.seed,
+            "warmup_ps": self.warmup_ps,
+            "measure_ps": self.measure_ps,
+            "max_messages": self.max_messages,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        d = dict(data)
+        params = d.pop("params", None)
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown SimConfig fields {sorted(unknown)}")
+        if params is not None:
+            d["params"] = MyrinetParams.from_dict(params)
+        return cls(**d)

@@ -62,11 +62,18 @@ _register("table3", "hotspot-table",
           "Hotspot throughput, CPLANT", tables.table3)
 
 
-def run_experiment(exp_id: str, profile: Profile) -> Any:
-    """Run one registered experiment under ``profile``."""
+def run_experiment(exp_id: str, profile: Profile,
+                   executor: Any = None) -> Any:
+    """Run one registered experiment under ``profile``.
+
+    ``executor`` (a :class:`repro.orchestrator.Executor`) routes every
+    simulation point of the artefact through the parallel worker pool
+    and the on-disk result store; ``None`` keeps the plain sequential
+    path.  Every registered callable accepts the keyword.
+    """
     try:
         exp = EXPERIMENTS[exp_id]
     except KeyError:
         raise ValueError(f"unknown experiment {exp_id!r}; "
                          f"available: {sorted(EXPERIMENTS)}") from None
-    return exp.fn(profile)
+    return exp.fn(profile, executor=executor)

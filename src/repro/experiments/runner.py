@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..canon import freeze
 from ..config import SimConfig
 from ..metrics.collector import LatencyCollector
 from ..metrics.linkstats import collect_link_stats
@@ -34,7 +35,14 @@ _TABLE_CACHE: Dict[Tuple, RoutingTables] = {}
 
 
 def _freeze_kwargs(kwargs: Mapping[str, Any]) -> Tuple:
-    return tuple(sorted(kwargs.items()))
+    """Hashable cache key for (possibly nested) keyword arguments.
+
+    Delegates to :func:`repro.canon.freeze` -- the same canonicalisation
+    the orchestrator's result store hashes -- so nested dict/list values
+    (e.g. a ``topology_kwargs`` carrying a per-dimension size dict) key
+    the memo caches instead of raising ``unhashable type``.
+    """
+    return freeze(kwargs)
 
 
 def get_graph(topology: str, topology_kwargs: Mapping[str, Any]

@@ -61,6 +61,7 @@ class SweepResult:
 
 def sweep_rates(base: SimConfig, rates: Sequence[float],
                 stop_after_saturation: int = 1,
+                executor=None,
                 **runner_kwargs) -> SweepResult:
     """Run ``base`` at each rate (ascending).
 
@@ -68,10 +69,25 @@ def sweep_rates(base: SimConfig, rates: Sequence[float],
     simulated beyond the first (saturated runs are the slowest: the
     network is full of contending packets), preserving the curve's
     vertical bend without paying for points that carry no information.
+
+    ``executor`` (a :class:`repro.orchestrator.Executor`) routes the
+    points through the parallel orchestrator and its result store.  To
+    preserve the early-stop semantics in parallel mode, rate points are
+    dispatched in **ascending waves** of the executor's worker count:
+    the kept prefix of the curve is identical to the sequential path's,
+    a wave's surplus post-saturation points are merely simulated (and
+    cached) without being reported.  Callers passing live ``graph=`` or
+    ``tables=`` objects fall back to sequential execution -- those
+    cannot cross the process/disk boundary.
     """
+    ordered = sorted(rates)
+    if executor is not None and all(
+            runner_kwargs.get(k) is None for k in ("graph", "tables")):
+        return _sweep_rates_executor(base, ordered, stop_after_saturation,
+                                     executor, runner_kwargs)
     sat_seen = 0
     runs: List[RunSummary] = []
-    for rate in sorted(rates):
+    for rate in ordered:
         cfg = base.with_overrides(injection_rate=rate)
         summary = run_simulation(cfg, **runner_kwargs)
         runs.append(summary)
@@ -79,4 +95,24 @@ def sweep_rates(base: SimConfig, rates: Sequence[float],
             sat_seen += 1
             if sat_seen > stop_after_saturation:
                 break
+    return SweepResult(base.label(), runs)
+
+
+def _sweep_rates_executor(base: SimConfig, ordered: Sequence[float],
+                          stop_after_saturation: int, executor,
+                          runner_kwargs: dict) -> SweepResult:
+    """Wave-parallel sweep with sequential-identical early stop."""
+    wave = max(1, executor.workers)
+    sat_seen = 0
+    runs: List[RunSummary] = []
+    for start in range(0, len(ordered), wave):
+        batch = ordered[start:start + wave]
+        configs = [base.with_overrides(injection_rate=r) for r in batch]
+        summaries = executor.run_configs(configs, **runner_kwargs)
+        for summary in summaries:
+            runs.append(summary)
+            if summary.saturated:
+                sat_seen += 1
+                if sat_seen > stop_after_saturation:
+                    return SweepResult(base.label(), runs)
     return SweepResult(base.label(), runs)

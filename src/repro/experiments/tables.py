@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SimConfig
-from ..metrics.saturation import SaturationResult, find_saturation
+from ..metrics.saturation import find_saturation
 from .figures import ROUTINGS
 from .profiles import Profile
 from .runner import get_graph, run_simulation
@@ -69,40 +69,92 @@ def pick_hotspots(topology: str, count: int, seed: int = 7,
     return sorted(rng.sample(range(g.num_hosts), count))
 
 
-def _cell_throughput(topology: str, fraction: float, location: int,
-                     routing: str, policy: str, profile: Profile,
-                     start_rate: float, seed: int = 1) -> SaturationResult:
+def _cell_payload(topology: str, fraction: float, location: int,
+                  routing: str, policy: str, profile: Profile,
+                  start_rate: float, seed: int = 1) -> dict:
+    """JSON-safe description of one table cell's saturation search."""
+    return {
+        "topology": topology,
+        "fraction": fraction,
+        "location": location,
+        "routing": routing,
+        "policy": policy,
+        "start_rate": start_rate,
+        "seed": seed,
+        "sat_warmup_ps": profile.sat_warmup_ps,
+        "sat_measure_ps": profile.sat_measure_ps,
+        "growth": profile.sat_growth,
+        "refine_steps": profile.sat_refine_steps,
+    }
+
+
+def saturation_cell_task(payload: dict) -> dict:
+    """Worker function: one cell's full saturation search.
+
+    A cell is internally sequential (the search is adaptive: each rate
+    depends on the previous outcome) but cells are independent of each
+    other, so the orchestrator dispatches one task per cell.  The
+    result is JSON-safe so it can live in the result store.
+    """
     def run_at(rate: float):
         cfg = SimConfig(
-            topology=topology, routing=routing, policy=policy,
-            traffic="hotspot",
-            traffic_kwargs={"hotspot": location, "fraction": fraction},
+            topology=payload["topology"], routing=payload["routing"],
+            policy=payload["policy"], traffic="hotspot",
+            traffic_kwargs={"hotspot": payload["location"],
+                            "fraction": payload["fraction"]},
             injection_rate=rate,
-            warmup_ps=profile.sat_warmup_ps,
-            measure_ps=profile.sat_measure_ps,
-            seed=seed)
+            warmup_ps=payload["sat_warmup_ps"],
+            measure_ps=payload["sat_measure_ps"],
+            seed=payload["seed"])
         return run_simulation(cfg)
-    return find_saturation(run_at, start_rate, growth=profile.sat_growth,
-                           refine_steps=profile.sat_refine_steps)
+    sat = find_saturation(run_at, payload["start_rate"],
+                          growth=payload["growth"],
+                          refine_steps=payload["refine_steps"])
+    return {"throughput": sat.throughput,
+            "last_stable_rate": sat.last_stable_rate,
+            "first_saturated_rate": sat.first_saturated_rate,
+            "runs": len(sat.runs)}
+
+
+#: fn-path of :func:`saturation_cell_task` for the orchestrator
+SATURATION_TASK_FN = "repro.experiments.tables:saturation_cell_task"
 
 
 def _hotspot_table(table_id: str, title: str, topology: str,
                    fractions: Tuple[float, ...], profile: Profile,
-                   start_rate: float, seed: int = 7) -> HotspotTable:
+                   start_rate: float, seed: int = 7,
+                   executor=None) -> HotspotTable:
+    """Fill one table, cell by cell.
+
+    With an ``executor`` every (fraction, location, routing) cell runs
+    as an independent saturation-search task -- fanned out across
+    workers and checkpointed in the result store; the sequential path
+    executes the exact same task function inline, so both produce
+    bit-identical cells.
+    """
     locations = tuple(pick_hotspots(topology, profile.hotspot_locations,
                                     seed))
-    cells: Dict[Tuple[float, int, str], float] = {}
-    for frac in fractions:
-        for loc in locations:
-            for (routing, policy), label in _labels():
-                sat = _cell_throughput(topology, frac, loc, routing,
-                                       policy, profile, start_rate)
-                cells[(frac, loc, label)] = sat.throughput
+    specs = [(frac, loc, label,
+              _cell_payload(topology, frac, loc, routing, policy,
+                            profile, start_rate))
+             for frac in fractions
+             for loc in locations
+             for (routing, policy), label in _labels()]
+    if executor is not None:
+        results = executor.run_tasks(
+            SATURATION_TASK_FN, [p for _, _, _, p in specs],
+            labels=[f"{table_id} {label} hotspot={loc} @ {frac:.0%}"
+                    for frac, loc, label, _ in specs])
+    else:
+        results = [saturation_cell_task(p) for _, _, _, p in specs]
+    cells: Dict[Tuple[float, int, str], float] = {
+        (frac, loc, label): r["throughput"]
+        for (frac, loc, label, _), r in zip(specs, results)}
     return HotspotTable(table_id, title, topology, fractions, locations,
                         cells)
 
 
-def table1(profile: Profile) -> HotspotTable:
+def table1(profile: Profile, executor=None) -> HotspotTable:
     """Table 1: 2-D torus, 5 % and 10 % hotspot traffic.
 
     Paper averages (flits/ns/switch): 5 % -> 0.0125 / 0.0267 / 0.0274;
@@ -110,10 +162,10 @@ def table1(profile: Profile) -> HotspotTable:
     """
     return _hotspot_table("table1", "Hotspot throughput, 2-D torus",
                           "torus", (0.05, 0.10), profile,
-                          start_rate=0.006)
+                          start_rate=0.006, executor=executor)
 
 
-def table2(profile: Profile) -> HotspotTable:
+def table2(profile: Profile, executor=None) -> HotspotTable:
     """Table 2: express torus, 3 % and 5 % hotspot traffic.
 
     Paper averages: 3 % -> 0.0483 / 0.0546 / 0.0542;
@@ -122,16 +174,16 @@ def table2(profile: Profile) -> HotspotTable:
     return _hotspot_table("table2",
                           "Hotspot throughput, 2-D torus + express",
                           "torus-express", (0.03, 0.05), profile,
-                          start_rate=0.015)
+                          start_rate=0.015, executor=executor)
 
 
-def table3(profile: Profile) -> HotspotTable:
+def table3(profile: Profile, executor=None) -> HotspotTable:
     """Table 3: CPLANT, 5 % hotspot traffic.
 
     Paper averages: 0.0340 / 0.0423 / 0.0451.
     """
     return _hotspot_table("table3", "Hotspot throughput, CPLANT",
-                          "cplant", (0.05,), profile, start_rate=0.012)
+                          "cplant", (0.05,), profile, start_rate=0.012, executor=executor)
 
 
 #: paper-reported average rows, for EXPERIMENTS.md comparison

@@ -61,6 +61,27 @@ class LinkUtilization:
         return [(float(self.utilization[i]), *self.channel_ends[i])
                 for i in order]
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (arrays become lists)."""
+        return {
+            "window_ps": self.window_ps,
+            "channel_ends": [list(e) for e in self.channel_ends],
+            "utilization": self.utilization.tolist(),
+            "reserved": self.reserved.tolist(),
+            "per_link": self.per_link.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkUtilization":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            window_ps=data["window_ps"],
+            channel_ends=[tuple(e) for e in data["channel_ends"]],
+            utilization=np.asarray(data["utilization"], dtype=float),
+            reserved=np.asarray(data["reserved"], dtype=float),
+            per_link=np.asarray(data["per_link"], dtype=float),
+        )
+
 
 def collect_link_stats(network: WormholeNetwork, window_ps: int,
                        params: MyrinetParams) -> LinkUtilization:

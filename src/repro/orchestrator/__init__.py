@@ -1,0 +1,38 @@
+"""Parallel sweep orchestrator: worker pool, result store, campaigns.
+
+Three layers, composable and individually testable:
+
+* :mod:`~repro.orchestrator.pool` -- fault-tolerant multiprocessing
+  worker pool (per-task timeout, bounded retry of crashed/hung
+  workers, inline degradation at ``workers=1``);
+* :mod:`~repro.orchestrator.store` -- content-addressed on-disk result
+  store keyed by a canonical hash of the full point description,
+  giving checkpoint/resume and a stable results-artifact format;
+* :mod:`~repro.orchestrator.campaign` -- the :class:`Executor` front
+  door (store-first, then pool) plus :class:`Campaign` progress
+  streaming; this is what ``sweep_rates(..., executor=)``, the
+  experiment registry, the CLI and ``benchmarks/run_paper_profile.py``
+  route through.
+"""
+
+from __future__ import annotations
+
+from .campaign import (Campaign, CampaignError, Executor, ExecutorStats,
+                       Point, ProgressReporter)
+from .pool import Task, TaskResult, WorkerPool
+from .store import DEFAULT_CACHE_DIR, ResultStore, StoreInfo
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "DEFAULT_CACHE_DIR",
+    "Executor",
+    "ExecutorStats",
+    "Point",
+    "ProgressReporter",
+    "ResultStore",
+    "StoreInfo",
+    "Task",
+    "TaskResult",
+    "WorkerPool",
+]

@@ -1,0 +1,265 @@
+"""Fault-tolerant multiprocessing worker pool.
+
+Fans independent simulation tasks out across cores.  Design choices,
+driven by the failure modes of long campaigns:
+
+* **one process per task**, bounded to ``workers`` concurrent
+  processes.  Fork start-up (a few ms on Linux) is negligible next to
+  a multi-second simulation point, and it makes fault handling clean:
+  a crashed or killed worker can never corrupt a shared task queue,
+  it simply never reports, and the supervisor re-runs its task in a
+  fresh process.  With the ``fork`` start method children also inherit
+  the parent's warm graph/table memo caches for free.
+* **per-task timeout**: a hung worker (e.g. a pathological parameter
+  point that never saturates the watchdog) is terminated and its task
+  retried, up to ``retries`` extra attempts, then reported as failed.
+* **crash containment**: a worker that dies (segfault, OOM kill,
+  ``os._exit``) is detected via its exit code and retried the same
+  way.  A *clean* Python exception inside the task is deterministic
+  and is **not** retried -- it is reported as a failure immediately.
+* **graceful degradation**: ``workers <= 1`` executes tasks inline in
+  the calling process -- same interface, no multiprocessing at all --
+  so single-core environments and debuggers see ordinary stack traces.
+
+Tasks name their worker function as a ``"module:callable"`` string
+(resolved inside the worker), taking one JSON-safe payload dict and
+returning a JSON-safe result dict.  Keeping the boundary plain-data is
+what lets the campaign layer persist every result in the
+content-addressed store.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import queue
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..config import SimConfig
+from ..experiments.runner import run_simulation
+from ..metrics.summary import RunSummary
+
+__all__ = ["Task", "TaskResult", "WorkerPool", "run_point_task"]
+
+#: seconds to keep waiting for the result of a worker that exited
+#: cleanly (exit code 0) before declaring it lost -- covers the queue
+#: feeder-thread flush racing the supervisor's liveness check
+_EXIT_GRACE_S = 10.0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a worker function name plus its payload."""
+
+    task_id: str
+    #: worker function as ``"module:callable"`` (resolved in the worker)
+    fn: str
+    #: JSON-safe argument dict passed to the function
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task after all attempts."""
+
+    task_id: str
+    value: Optional[Dict[str, Any]]
+    error: Optional[str]
+    attempts: int
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _resolve(fn_path: str) -> Callable[[Dict[str, Any]], Any]:
+    module_name, _, attr = fn_path.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"task fn must be 'module:callable', got {fn_path!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def run_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker function for one simulation point.
+
+    ``payload`` is ``{"config": SimConfig dict, "runner_kwargs":
+    plain dict}``; the result is the ``RunSummary`` dict.
+    """
+    cfg = SimConfig.from_dict(payload["config"])
+    kwargs = dict(payload.get("runner_kwargs") or {})
+    summary = run_simulation(cfg, **kwargs)
+    return summary.to_dict()
+
+
+#: fn-path of :func:`run_point_task`, used by the campaign layer
+POINT_TASK_FN = "repro.orchestrator.pool:run_point_task"
+
+
+def _task_main(result_q, task_id: str, fn_path: str,
+               payload: Dict[str, Any]) -> None:
+    """Child-process entry point: run one task, report, exit."""
+    try:
+        fn = _resolve(fn_path)
+        value = fn(payload)
+        result_q.put((task_id, "ok", value))
+    except BaseException:
+        result_q.put((task_id, "err", traceback.format_exc()))
+
+
+class WorkerPool:
+    """Bounded pool of single-task worker processes.
+
+    ``timeout_s`` bounds each *attempt*; ``retries`` is how many extra
+    attempts a crashed or timed-out task gets before it is reported
+    failed (clean exceptions are never retried -- they are
+    deterministic).
+    """
+
+    def __init__(self, workers: int = 1, timeout_s: Optional[float] = None,
+                 retries: int = 1, start_method: Optional[str] = None):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.workers = max(1, int(workers))
+        self.timeout_s = timeout_s
+        self.retries = retries
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self.start_method = start_method
+
+    def run(self, tasks: Sequence[Task],
+            on_result: Optional[Callable[[TaskResult], None]] = None
+            ) -> List[TaskResult]:
+        """Execute every task; results come back in input order.
+
+        ``on_result`` fires as each task finishes (completion order),
+        which is what streams per-point progress to the CLI.
+        """
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("task ids must be unique within one run() call")
+        if not tasks:
+            return []
+        if self.workers <= 1:
+            done = self._run_inline(tasks, on_result)
+        else:
+            done = self._run_parallel(tasks, on_result)
+        return [done[t.task_id] for t in tasks]
+
+    # -- inline degradation --------------------------------------------
+
+    def _run_inline(self, tasks, on_result) -> Dict[str, TaskResult]:
+        done: Dict[str, TaskResult] = {}
+        for task in tasks:
+            t0 = time.monotonic()
+            try:
+                value = _resolve(task.fn)(task.payload)
+                res = TaskResult(task.task_id, value, None, 1,
+                                 time.monotonic() - t0)
+            except Exception:
+                res = TaskResult(task.task_id, None, traceback.format_exc(),
+                                 1, time.monotonic() - t0)
+            done[task.task_id] = res
+            if on_result:
+                on_result(res)
+        return done
+
+    # -- multiprocessing path ------------------------------------------
+
+    def _run_parallel(self, tasks, on_result) -> Dict[str, TaskResult]:
+        ctx = mp.get_context(self.start_method)
+        result_q = ctx.Queue()
+        pending = deque((task, 1) for task in tasks)
+        #: task_id -> (process, task, attempt, started_at)
+        active: Dict[str, tuple] = {}
+        #: task_id -> monotonic time its process was first seen exited
+        exited_at: Dict[str, float] = {}
+        done: Dict[str, TaskResult] = {}
+
+        def finish(res: TaskResult) -> None:
+            done[res.task_id] = res
+            if on_result:
+                on_result(res)
+
+        def retry_or_fail(task: Task, attempt: int, started: float,
+                          reason: str) -> None:
+            if attempt <= self.retries:
+                pending.append((task, attempt + 1))
+            else:
+                finish(TaskResult(task.task_id, None,
+                                  f"{reason} (after {attempt} attempts)",
+                                  attempt, time.monotonic() - started))
+
+        try:
+            while pending or active:
+                while pending and len(active) < self.workers:
+                    task, attempt = pending.popleft()
+                    proc = ctx.Process(
+                        target=_task_main,
+                        args=(result_q, task.task_id, task.fn, task.payload),
+                        daemon=True)
+                    proc.start()
+                    active[task.task_id] = (proc, task, attempt,
+                                            time.monotonic())
+
+                try:
+                    task_id, status, value = result_q.get(timeout=0.05)
+                except queue.Empty:
+                    pass
+                else:
+                    if task_id in active:
+                        proc, task, attempt, started = active.pop(task_id)
+                        exited_at.pop(task_id, None)
+                        proc.join(timeout=5.0)
+                        elapsed = time.monotonic() - started
+                        if status == "ok":
+                            finish(TaskResult(task_id, value, None, attempt,
+                                              elapsed))
+                        else:
+                            # clean exception: deterministic, don't retry
+                            finish(TaskResult(task_id, None, value, attempt,
+                                              elapsed))
+                    continue
+
+                now = time.monotonic()
+                for task_id, (proc, task, attempt, started) in \
+                        list(active.items()):
+                    if (self.timeout_s is not None
+                            and now - started > self.timeout_s):
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+                        active.pop(task_id)
+                        exited_at.pop(task_id, None)
+                        retry_or_fail(task, attempt, started,
+                                      f"timed out after {self.timeout_s}s")
+                    elif not proc.is_alive():
+                        if proc.exitcode not in (0, None):
+                            # crashed: result can no longer arrive
+                            active.pop(task_id)
+                            exited_at.pop(task_id, None)
+                            retry_or_fail(
+                                task, attempt, started,
+                                f"worker died with exit code {proc.exitcode}")
+                        else:
+                            # exited cleanly; allow the queue flush to race
+                            first = exited_at.setdefault(task_id, now)
+                            if now - first > _EXIT_GRACE_S:
+                                active.pop(task_id)
+                                exited_at.pop(task_id, None)
+                                retry_or_fail(task, attempt, started,
+                                              "worker exited without a result")
+        finally:
+            for proc, _task, _attempt, _started in active.values():
+                proc.terminate()
+            for proc, _task, _attempt, _started in active.values():
+                proc.join(timeout=5.0)
+            result_q.close()
+        return done

@@ -1,0 +1,162 @@
+"""Content-addressed on-disk result store (checkpoint/resume).
+
+Every finished simulation point is written to ``.repro_cache/`` as one
+JSON file named by the SHA-256 of its *full description*: the task kind
+(worker function), the canonical JSON of its payload (``SimConfig`` +
+runner kwargs for simulation points), the code version and the store
+format version.  Re-running an interrupted campaign therefore only
+simulates the missing points; everything already on disk is served
+back byte-identically (Python's JSON float encoding is repr-based, so
+summaries round-trip bit-exactly).
+
+Layout::
+
+    <root>/
+        meta.json                   # {"format": 1}
+        objects/<k[:2]>/<k>.json    # one record per completed task
+
+Each record is self-describing -- ``{"key", "kind", "payload",
+"result", "code_version", "created", "elapsed_s"}`` -- so the store
+doubles as a stable results-artifact format that external tooling can
+read without importing this package.
+
+Writes are atomic (temp file + ``os.replace``): a worker killed
+mid-write never leaves a half-record, it just leaves a missing point
+for the next run to redo.  Corrupt or truncated records read as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from ..canon import canonical_json, digest
+
+#: bump when the record schema changes; old entries then read as misses
+STORE_FORMAT = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _code_version() -> str:
+    # imported lazily: repro/__init__ imports this module
+    from .. import __version__
+    return __version__
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Summary of a store's on-disk contents."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def oneline(self) -> str:
+        mb = self.total_bytes / 1e6
+        return f"{self.root}: {self.entries} results, {mb:.2f} MB"
+
+
+class ResultStore:
+    """Content-addressed JSON store under ``root`` (created lazily)."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    # -- keys -----------------------------------------------------------
+
+    def key(self, kind: str, payload: Mapping[str, Any]) -> str:
+        """Content hash of one task: kind + payload + code version."""
+        return digest({
+            "format": STORE_FORMAT,
+            "kind": kind,
+            "code_version": _code_version(),
+            "payload": payload,
+        })
+
+    # -- records --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / (key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a record, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        return record
+
+    def put(self, key: str, kind: str, payload: Mapping[str, Any],
+            result: Any, elapsed_s: Optional[float] = None) -> None:
+        """Atomically persist one finished task."""
+        record = {
+            "key": key,
+            "kind": kind,
+            "code_version": _code_version(),
+            "format": STORE_FORMAT,
+            "created": time.time(),
+            "elapsed_s": elapsed_s,
+            "payload": payload,
+            "result": result,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = self.root / "meta.json"
+        if not meta.exists():
+            meta.write_text(json.dumps({"format": STORE_FORMAT}) + "\n")
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(canonical_json(record))
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # -- maintenance ----------------------------------------------------
+
+    def _object_files(self):
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for sub in sorted(objects.iterdir()):
+            if not sub.is_dir():
+                continue
+            for f in sorted(sub.iterdir()):
+                if f.suffix == ".json":
+                    yield f
+
+    def info(self) -> StoreInfo:
+        """Entry count and total size (for ``repro cache info``)."""
+        entries = 0
+        total = 0
+        for f in self._object_files():
+            entries += 1
+            total += f.stat().st_size
+        return StoreInfo(str(self.root), entries, total)
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        for f in list(self._object_files()):
+            f.unlink()
+            removed += 1
+        return removed

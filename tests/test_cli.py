@@ -24,6 +24,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["info", "hypercube"])
 
+    def test_sweep_orchestrator_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.cache_dir == ".repro_cache"
+        assert args.no_cache is False
+        assert args.retries == 1
+
+    def test_experiment_accepts_workers(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig7a", "--workers", "4", "--no-cache"])
+        assert args.workers == 4 and args.no_cache
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "info"])
+        assert args.cache_cmd == "info"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -95,3 +113,53 @@ class TestCommands:
                    "--warmup-ns", "20000", "--measure-ns", "80000"])
         assert rc == 0
         assert "ITB-ADAPTIVE" in capsys.readouterr().out
+
+
+class TestOrchestratorCommands:
+    SWEEP = ["sweep", "--rows", "4", "--cols", "4",
+             "--hosts-per-switch", "2", "--rates", "0.005,0.01",
+             "--warmup-ns", "20000", "--measure-ns", "60000"]
+
+    def test_sweep_no_cache_sequential(self, capsys):
+        assert main(self.SWEEP + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput (knee)" in out
+        assert "points:" not in out  # plain path, no orchestrator
+
+    def test_sweep_repeat_served_from_cache(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.SWEEP + cache) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated, 0 from cache" in first
+
+        assert main(self.SWEEP + ["--workers", "2"] + cache) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 from cache" in second
+        # identical curve, point for point
+        strip = lambda s: [ln for ln in s.splitlines()
+                           if not ln.startswith("points:")]
+        assert strip(first) == strip(second)
+
+    def test_sweep_parallel_workers(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.SWEEP + ["--workers", "2"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.SWEEP + cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"] + cache) == 0
+        assert "2 results" in capsys.readouterr().out
+        assert main(["cache", "clear"] + cache) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert main(["cache", "info"] + cache) == 0
+        assert "0 results" in capsys.readouterr().out
+
+    def test_custom_grid_size_flags(self, capsys):
+        assert main(["run", "--rows", "4", "--cols", "4",
+                     "--hosts-per-switch", "2", "--rate", "0.01",
+                     "--warmup-ns", "20000", "--measure-ns",
+                     "60000"]) == 0
+        assert "delivered" in capsys.readouterr().out

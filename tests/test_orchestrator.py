@@ -1,0 +1,253 @@
+"""Orchestrator: worker pool fault tolerance, executor caching,
+campaign resume and parallel-vs-sequential determinism.
+
+The crash/timeout task functions live at module level so worker
+processes (forked children) can resolve them by ``module:callable``
+path exactly like the real simulation tasks.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.orchestrator.pool as pool_mod
+from repro.experiments.sweep import sweep_rates
+from repro.orchestrator import (Campaign, CampaignError, Executor, Point,
+                                ProgressReporter, ResultStore, Task,
+                                WorkerPool)
+from repro.units import ns
+from tests.conftest import small_config
+
+_HERE = "tests.test_orchestrator"
+
+
+def double_task(payload):
+    return {"value": payload["x"] * 2}
+
+
+def boom_task(payload):
+    raise ValueError("boom")
+
+
+def crash_task(payload):
+    os._exit(5)
+
+
+def crash_once_task(payload):
+    # crashes on the first attempt, succeeds on the retry: the flag
+    # file is the only state surviving the dead worker process
+    flag = payload["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("attempt 1\n")
+        os._exit(3)
+    return {"recovered": True}
+
+
+def sleep_task(payload):
+    time.sleep(payload["seconds"])
+    return {"slept": True}
+
+
+class TestWorkerPoolInline:
+    def test_runs_in_order(self):
+        pool = WorkerPool(workers=1)
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(5)]
+        results = pool.run(tasks)
+        assert [r.value["value"] for r in results] == [0, 2, 4, 6, 8]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_exception_reported_not_raised(self):
+        pool = WorkerPool(workers=1)
+        results = pool.run([Task("t", f"{_HERE}:boom_task", {})])
+        assert not results[0].ok
+        assert "ValueError: boom" in results[0].error
+
+    def test_on_result_streams(self):
+        seen = []
+        pool = WorkerPool(workers=1)
+        pool.run([Task(str(i), f"{_HERE}:double_task", {"x": i})
+                  for i in range(3)],
+                 on_result=lambda r: seen.append(r.task_id))
+        assert seen == ["0", "1", "2"]
+
+    def test_duplicate_ids_rejected(self):
+        pool = WorkerPool(workers=1)
+        with pytest.raises(ValueError, match="unique"):
+            pool.run([Task("a", f"{_HERE}:double_task", {"x": 1}),
+                      Task("a", f"{_HERE}:double_task", {"x": 2})])
+
+
+class TestWorkerPoolParallel:
+    def test_results_in_input_order(self):
+        pool = WorkerPool(workers=3)
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(7)]
+        results = pool.run(tasks)
+        assert [r.value["value"] for r in results] == \
+            [2 * i for i in range(7)]
+
+    def test_clean_exception_not_retried(self):
+        pool = WorkerPool(workers=2, retries=3)
+        results = pool.run([Task("t", f"{_HERE}:boom_task", {})])
+        assert not results[0].ok
+        assert results[0].attempts == 1
+        assert "ValueError: boom" in results[0].error
+
+    def test_crashed_worker_retried_then_fails(self):
+        pool = WorkerPool(workers=2, retries=1)
+        results = pool.run([Task("t", f"{_HERE}:crash_task", {})])
+        assert not results[0].ok
+        assert results[0].attempts == 2
+        assert "exit code 5" in results[0].error
+
+    def test_crashed_worker_recovers_on_retry(self, tmp_path):
+        pool = WorkerPool(workers=2, retries=1)
+        flag = str(tmp_path / "flag")
+        results = pool.run([Task("t", f"{_HERE}:crash_once_task",
+                                 {"flag": flag})])
+        assert results[0].ok
+        assert results[0].value == {"recovered": True}
+        assert results[0].attempts == 2
+
+    def test_crash_does_not_poison_other_tasks(self, tmp_path):
+        pool = WorkerPool(workers=2, retries=0)
+        tasks = [Task("ok1", f"{_HERE}:double_task", {"x": 1}),
+                 Task("bad", f"{_HERE}:crash_task", {}),
+                 Task("ok2", f"{_HERE}:double_task", {"x": 2})]
+        results = pool.run(tasks)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+
+    def test_hung_worker_times_out(self):
+        pool = WorkerPool(workers=2, timeout_s=0.5, retries=0)
+        t0 = time.monotonic()
+        results = pool.run([Task("t", f"{_HERE}:sleep_task",
+                                 {"seconds": 60})])
+        assert time.monotonic() - t0 < 30
+        assert not results[0].ok
+        assert "timed out" in results[0].error
+
+
+def _count_calls(monkeypatch):
+    """Wrap the pool's run_simulation with a call counter (only
+    observable on the in-process path, which is exactly the point:
+    cached campaigns must not reach it at all)."""
+    calls = []
+    real = pool_mod.run_simulation
+
+    def counting(config, **kwargs):
+        calls.append(config)
+        return real(config, **kwargs)
+
+    monkeypatch.setattr(pool_mod, "run_simulation", counting)
+    return calls
+
+
+class TestExecutor:
+    def test_completed_campaign_runs_zero_simulations(self, tmp_path,
+                                                      monkeypatch):
+        calls = _count_calls(monkeypatch)
+        store = ResultStore(tmp_path)
+        configs = [small_config(injection_rate=r) for r in (0.005, 0.01)]
+
+        first = Executor(workers=1, store=store).run_configs(configs)
+        assert len(calls) == 2
+
+        ex = Executor(workers=1, store=store)
+        second = ex.run_configs(configs)
+        assert len(calls) == 2        # zero new run_simulation calls
+        assert ex.stats.cached == 2 and ex.stats.simulated == 0
+        assert [s.to_dict() for s in second] == \
+            [s.to_dict() for s in first]
+
+    def test_interrupted_campaign_resumes_missing_points_only(
+            self, tmp_path, monkeypatch):
+        calls = _count_calls(monkeypatch)
+        store = ResultStore(tmp_path)
+        rates = (0.004, 0.008, 0.012, 0.016)
+        configs = [small_config(injection_rate=r) for r in rates]
+
+        # campaign dies after two points (a killed worker / ^C leaves
+        # exactly this on disk: the finished prefix, nothing else)
+        Executor(workers=1, store=store).run_configs(configs[:2])
+        assert len(calls) == 2
+
+        ex = Executor(workers=1, store=store)
+        summaries = ex.run_configs(configs)
+        assert len(calls) == 4        # only the two missing points ran
+        assert ex.stats.cached == 2 and ex.stats.simulated == 2
+        assert [s.offered_flits_ns_switch for s in summaries] == \
+            pytest.approx(list(rates))
+
+    def test_failed_point_raises_campaign_error(self, tmp_path):
+        ex = Executor(workers=1, store=ResultStore(tmp_path))
+        bad = small_config().with_overrides(injection_rate=-1.0)
+        with pytest.raises(CampaignError, match="1 of 1"):
+            ex.run_configs([bad])
+        assert ResultStore(tmp_path).info().entries == 0
+
+    def test_live_graph_kwarg_rejected(self, torus44):
+        ex = Executor(workers=1)
+        with pytest.raises(ValueError, match="graph"):
+            ex.run_points([Point("p", small_config(),
+                                 {"graph": torus44})])
+
+    def test_no_store_executor_works(self):
+        ex = Executor(workers=1, store=None)
+        out = ex.run_configs([small_config()])
+        assert out[0].messages_delivered > 0
+        assert ex.stats.simulated == 1 and ex.stats.cached == 0
+
+
+class TestDeterminism:
+    def test_parallel_campaign_bit_identical_to_sequential(self, tmp_path):
+        """4-worker campaign == sequential path, field for field."""
+        base = small_config()
+        rates = [0.004, 0.008, 0.02, 0.04]
+        seq = sweep_rates(base, rates)
+        ex = Executor(workers=4, store=ResultStore(tmp_path))
+        par = sweep_rates(base, rates, executor=ex)
+        assert ex.stats.simulated == len(rates)
+        assert len(par.runs) == len(seq.runs)
+        # to_dict comparison pins *bit* equality of every float field
+        assert [r.to_dict() for r in par.runs] == \
+            [r.to_dict() for r in seq.runs]
+
+    def test_wave_dispatch_preserves_early_stop(self, tmp_path):
+        """Ascending waves keep stop_after_saturation's kept prefix
+        identical to the sequential path's."""
+        base = small_config(warmup_ps=ns(10_000), measure_ps=ns(40_000))
+        rates = [0.004, 0.3, 0.4, 0.5, 0.6]
+        seq = sweep_rates(base, rates, stop_after_saturation=1)
+        assert 2 <= len(seq.runs) < len(rates)  # the stop actually fired
+        ex = Executor(workers=2, store=ResultStore(tmp_path))
+        par = sweep_rates(base, rates, stop_after_saturation=1,
+                          executor=ex)
+        assert [r.to_dict() for r in par.runs] == \
+            [r.to_dict() for r in seq.runs]
+
+
+class TestCampaign:
+    def test_from_sweep_runs_and_reports(self, tmp_path, capsys):
+        import io
+        stream = io.StringIO()
+        ex = Executor(workers=1, store=ResultStore(tmp_path),
+                      reporter=ProgressReporter(stream))
+        camp = Campaign.from_sweep("demo", small_config(), [0.01, 0.005])
+        results = camp.run(ex)
+        assert set(results) == {"demo:0.005", "demo:0.01"}
+        assert results["demo:0.01"].messages_delivered > 0
+        out = stream.getvalue()
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "demo:" in out
+
+    def test_rerun_is_all_cache_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        camp = Campaign.from_sweep("demo", small_config(), [0.01, 0.005])
+        camp.run(Executor(workers=1, store=store))
+        ex = Executor(workers=1, store=store)
+        camp.run(ex)
+        assert ex.stats.cached == 2 and ex.stats.simulated == 0

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.config import SimConfig
-from repro.experiments.runner import (clear_caches, get_graph, get_tables,
+from repro.experiments.runner import (_freeze_kwargs, _GRAPH_CACHE,
+                                      _TABLE_CACHE, clear_caches,
+                                      get_graph, get_tables,
                                       run_simulation)
+from repro.topology import build_torus
 from repro.units import ns
 from tests.conftest import small_config
 
@@ -110,3 +113,55 @@ class TestCaches:
         clear_caches()
         g2 = get_graph("cplant", {})
         assert g1 is not g2
+
+    def test_clear_empties_both_caches(self):
+        clear_caches()
+        g = get_graph("torus", {"rows": 4, "cols": 4,
+                                "hosts_per_switch": 2})
+        get_tables(g, ("torus", _freeze_kwargs(
+            {"rows": 4, "cols": 4, "hosts_per_switch": 2})), "itb")
+        assert _GRAPH_CACHE and _TABLE_CACHE
+        clear_caches()
+        assert not _GRAPH_CACHE and not _TABLE_CACHE
+
+    def test_freeze_kwargs_nested_values_hashable(self):
+        # nested dict/list topology kwargs used to raise
+        # "unhashable type: 'dict'" when keying the memo caches
+        a = _freeze_kwargs({"grid": {"rows": 4, "cols": [2, 2]}, "k": 1})
+        b = _freeze_kwargs({"k": 1, "grid": {"cols": [2, 2], "rows": 4}})
+        assert a == b
+        assert {a: "cached"}[b] == "cached"
+
+    def test_freeze_kwargs_flat_shape_unchanged(self):
+        # flat kwargs keep the historical (key, value) tuple shape that
+        # existing cache keys (and tests) are built from
+        assert _freeze_kwargs({"rows": 4, "cols": 4}) == \
+            (("cols", 4), ("rows", 4))
+
+    def test_graph_kwarg_bypasses_caches(self):
+        clear_caches()
+        g = build_torus(rows=4, cols=4, hosts_per_switch=2)
+        s = run_simulation(small_config(), graph=g)
+        assert s.messages_delivered > 0
+        # an injected graph has no registry name: neither it nor its
+        # derived tables may leak into the memo caches
+        assert not _GRAPH_CACHE
+        assert not _TABLE_CACHE
+
+    def test_table_cache_distinguishes_root(self):
+        key = ("torus", (("cols", 4), ("hosts_per_switch", 2), ("rows", 4)))
+        g = get_graph("torus", {"rows": 4, "cols": 4,
+                                "hosts_per_switch": 2})
+        t0 = get_tables(g, key, "itb", root=0)
+        t1 = get_tables(g, key, "itb", root=1)
+        assert t0 is not t1
+        assert get_tables(g, key, "itb", root=0) is t0
+
+    def test_table_cache_distinguishes_sort_by_itbs(self):
+        key = ("torus", (("cols", 4), ("hosts_per_switch", 2), ("rows", 4)))
+        g = get_graph("torus", {"rows": 4, "cols": 4,
+                                "hosts_per_switch": 2})
+        plain = get_tables(g, key, "itb", sort_by_itbs=False)
+        sorted_ = get_tables(g, key, "itb", sort_by_itbs=True)
+        assert plain is not sorted_
+        assert get_tables(g, key, "itb", sort_by_itbs=True) is sorted_
