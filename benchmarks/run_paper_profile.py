@@ -11,8 +11,15 @@ point, so an interrupted run resumes where it stopped instead of
 starting over.  The bench suite (``pytest benchmarks/
 --benchmark-only``) is the fast everyday variant.
 
+Besides the paper artefacts, every run records an engine wall-clock
+profile: the same validation-size network (the 4x4 torus of the
+cross-engine validation suite) timed through each requested simulation
+engine (``--engine``, repeatable; default: all registered), so the perf
+trajectory tracks the packet- vs flit-level cost side by side.
+
 Usage:  python benchmarks/run_paper_profile.py [exp_id ...]
             [--workers N] [--cache-dir DIR] [--no-cache]
+            [--engine NAME ...] [--no-engine-profile]
 """
 
 from __future__ import annotations
@@ -22,14 +29,58 @@ import json
 import os
 import time
 
+from repro.config import SimConfig
 from repro.experiments.profiles import PAPER
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import (render_figure, render_hotspot_table,
                                       render_link_map)
+from repro.experiments.runner import run_simulation
 from repro.orchestrator import (DEFAULT_CACHE_DIR, Executor,
                                 ProgressReporter, ResultStore)
+from repro.sim import available_engines
+from repro.units import ns
 
 GRIDS = {"fig8": (8, 8), "fig9": (8, 8), "fig11": (8, 8)}
+
+#: validation-size network used for cross-engine checks (DESIGN.md
+#: Section 5): small enough that the flit engine finishes in seconds
+ENGINE_PROFILE_CFG = dict(
+    topology="torus",
+    topology_kwargs={"rows": 4, "cols": 4, "hosts_per_switch": 2},
+    routing="itb", policy="rr", traffic="uniform",
+    injection_rate=0.02,
+    warmup_ps=ns(20_000), measure_ps=ns(120_000))
+
+
+def profile_engines(engines) -> list:
+    """Time one validation-size run per engine, links collected."""
+    rows = []
+    for engine in engines:
+        cfg = SimConfig(engine=engine, **ENGINE_PROFILE_CFG)
+        t0 = time.perf_counter()
+        s = run_simulation(cfg, collect_links=True)
+        rows.append({
+            "engine": engine,
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "messages_delivered": s.messages_delivered,
+            "avg_latency_ns": round(s.avg_latency_ns, 1),
+            "itb_peak_bytes": s.itb_peak_bytes,
+        })
+    return rows
+
+
+def render_engine_profile(rows) -> str:
+    base = min(r["wall_s"] for r in rows) or 1e-9
+    lines = ["engine wall-clock profile (4x4 torus, itb/rr, "
+             "rate 0.02, 120 us window):",
+             f"  {'engine':10s} {'wall [s]':>9s} {'rel':>6s} "
+             f"{'delivered':>9s} {'lat [ns]':>9s}"]
+    for r in rows:
+        lines.append(f"  {r['engine']:10s} {r['wall_s']:9.3f} "
+                     f"{r['wall_s'] / base:5.1f}x "
+                     f"{r['messages_delivered']:9d} "
+                     f"{r['avg_latency_ns']:9.1f}")
+    return "\n".join(lines)
 
 
 def parse_args() -> argparse.Namespace:
@@ -44,6 +95,12 @@ def parse_args() -> argparse.Namespace:
                    help="disable the on-disk result store")
     p.add_argument("--task-timeout", type=float, default=None,
                    help="per-point timeout in seconds")
+    p.add_argument("--engine", dest="engines", action="append",
+                   choices=list(available_engines()), metavar="NAME",
+                   help="engine(s) to include in the wall-clock "
+                        "profile (repeatable; default: all registered)")
+    p.add_argument("--no-engine-profile", action="store_true",
+                   help="skip the engine wall-clock profile")
     return p.parse_args()
 
 
@@ -65,6 +122,17 @@ def main() -> None:
     summary: dict = {}
 
     with open(txt_path, "w") as txt:
+        if not args.no_engine_profile:
+            engines = args.engines or list(available_engines())
+            print(f"[{time.strftime('%H:%M:%S')}] engine wall-clock "
+                  f"profile ({', '.join(engines)}) ...", flush=True)
+            rows = profile_engines(engines)
+            txt.write(render_engine_profile(rows) + "\n\n")
+            txt.flush()
+            summary["engine_profile"] = rows
+            with open(json_path, "w") as jf:
+                json.dump(summary, jf, indent=2)
+
         for exp_id in wanted:
             exp = EXPERIMENTS[exp_id]
             t0 = time.time()

@@ -33,8 +33,11 @@ from .routing import (RoutingTables, SourceRoute, compute_tables,
 from .experiments.compare import ComparisonResult, compare_configs
 from .orchestrator import (Campaign, CampaignError, Executor, Point,
                            ProgressReporter, ResultStore, WorkerPool)
-from .sim import (DeadlockError, FlitLevelNetwork, Packet, PacketTracer,
-                  Simulator, WormholeNetwork, format_trace)
+from .sim import (DeadlockError, FlitLevelNetwork, ItbStats,
+                  LinkChannelStats, NetworkModel, Packet, PacketTracer,
+                  Simulator, UnsupportedCapability, WormholeNetwork,
+                  available_engines, engine_capabilities, format_trace,
+                  make_network)
 from .topology import (NetworkGraph, build, build_cplant, build_irregular,
                        build_mesh, build_torus, build_torus_express,
                        check_topology)
@@ -72,6 +75,13 @@ __all__ = [
     "PacketTracer",
     "format_trace",
     "Simulator",
+    "NetworkModel",
+    "UnsupportedCapability",
+    "LinkChannelStats",
+    "ItbStats",
+    "available_engines",
+    "engine_capabilities",
+    "make_network",
     "WormholeNetwork",
     "FlitLevelNetwork",
     "ComparisonResult",

@@ -54,6 +54,7 @@ from .experiments.sweep import sweep_rates
 from .orchestrator import (DEFAULT_CACHE_DIR, Executor, ProgressReporter,
                            ResultStore)
 from .routing.analysis import route_statistics
+from .sim.engines import available_engines
 from .units import ns
 
 PROFILES = {"bench": BENCH, "paper": PAPER, "test": TEST}
@@ -79,7 +80,8 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--warmup-ns", type=float, default=100_000)
     p.add_argument("--measure-ns", type=float, default=400_000)
-    p.add_argument("--engine", default="packet", choices=["packet", "flit"])
+    p.add_argument("--engine", default="packet",
+                   choices=list(available_engines()))
     p.add_argument("--rows", type=int, default=None,
                    help="grid rows (torus/torus-express/mesh; "
                         "default: the paper's size)")

@@ -126,10 +126,12 @@ class SimConfig:
     the paper's plots; each host generates fixed-size messages at constant
     rate so that the per-switch aggregate equals this value.
 
-    ``engine`` selects the simulation fidelity: ``"packet"`` (the fast
-    wormhole model used for all paper-scale runs) or ``"flit"`` (explicit
-    slack buffers and stop&go; orders of magnitude slower, for
-    validation on small networks).
+    ``engine`` names a backend registered in :mod:`repro.sim.engines`:
+    ``"packet"`` (the fast wormhole model used for all paper-scale runs)
+    or ``"flit"`` (explicit slack buffers and stop&go; orders of
+    magnitude slower, for validation on small networks).  Both expose
+    the same :class:`~repro.sim.base.NetworkModel` surface, including
+    link statistics, ITB pool accounting and tracing.
     """
 
     topology: str = "torus"
@@ -162,8 +164,12 @@ class SimConfig:
             raise ValueError(f"unknown routing scheme {self.routing!r}")
         if self.policy not in ("sp", "rr", "random", "adaptive"):
             raise ValueError(f"unknown selection policy {self.policy!r}")
-        if self.engine not in ("packet", "flit"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+        # imported lazily: repro.sim imports this module at load time
+        from .sim.engines import available_engines
+        if self.engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: "
+                f"{', '.join(available_engines())}")
 
     def label(self) -> str:
         """Short human-readable label (used in reports and benches)."""

@@ -1,8 +1,13 @@
 """Single-run executor: config in, summary out.
 
 ``run_simulation`` builds (or reuses) the topology and routing tables,
-wires the wormhole network, traffic process and collectors, runs
-warm-up + measurement, and returns a :class:`RunSummary`.
+instantiates the configured engine through the
+:mod:`repro.sim.engines` registry, wires traffic and collectors, runs
+warm-up + measurement, and returns a :class:`RunSummary`.  All engine
+dispatch happens inside :mod:`repro.sim`; link and ITB statistics come
+from the uniform :class:`~repro.sim.base.NetworkModel` accessors, so
+every registered engine yields real (never fabricated) numbers or a
+clear :class:`~repro.sim.base.UnsupportedCapability` error.
 
 Topology and routing-table construction dominate short runs (the
 simple_routes balancing alone walks thousands of pair candidates), so
@@ -22,8 +27,7 @@ from ..metrics.summary import RunSummary
 from ..routing.policies import make_policy
 from ..routing.table import RoutingTables, compute_tables
 from ..sim.engine import Simulator
-from ..sim.flitlevel import FlitLevelNetwork
-from ..sim.network import WormholeNetwork
+from ..sim.engines import make_network
 from ..topology import build as build_topology
 from ..topology.graph import NetworkGraph
 from ..topology.validate import check_topology
@@ -108,16 +112,9 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
 
     sim = Simulator()
     policy = make_policy(config.policy, seed=config.seed)
-    if config.engine == "flit":
-        if collect_links:
-            raise ValueError(
-                "link statistics are only implemented for the packet "
-                "engine (the flit engine is a validation tool)")
-        network = FlitLevelNetwork(sim, g, tables, policy, config.params,
-                                   message_bytes=config.message_bytes)
-    else:
-        network = WormholeNetwork(sim, g, tables, policy, config.params,
-                                  message_bytes=config.message_bytes)
+    network = make_network(config.engine, sim, g, tables, policy,
+                           config.params,
+                           message_bytes=config.message_bytes)
     collector = LatencyCollector()
     network.add_delivery_callback(collector.on_delivered)
     # adaptive policies learn from delivery latencies (no-op for others)
@@ -156,13 +153,7 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     if collect_links:
         links = collect_link_stats(network, config.measure_ps, config.params)
 
-    if config.engine == "flit":
-        itb_peak = 0   # the flit engine does not model the pool cap
-        overflows = 0
-    else:
-        itb_peak = max((nic.itb_peak_bytes for nic in network.nics),
-                       default=0)
-        overflows = sum(nic.itb_overflows for nic in network.nics)
+    itb = network.itb_stats()
     return RunSummary(
         config=config,
         offered_flits_ns_switch=effective_rate,
@@ -175,8 +166,8 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
         max_latency_ns=(collector.max_latency_ps / 1_000
                         if collector.messages else None),
         avg_itbs_per_message=collector.avg_itbs_per_message(),
-        itb_overflow_count=overflows,
-        itb_peak_bytes=itb_peak,
+        itb_overflow_count=itb.overflow_count,
+        itb_peak_bytes=itb.peak_bytes,
         link_utilization=links,
         backlog_growth=backlog_growth,
     )

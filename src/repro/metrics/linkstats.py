@@ -20,8 +20,7 @@ from typing import List
 import numpy as np
 
 from ..config import MyrinetParams
-from ..sim.network import WormholeNetwork
-from ..sim.channel import NET
+from ..sim.base import NetworkModel
 
 
 @dataclass(frozen=True)
@@ -83,9 +82,15 @@ class LinkUtilization:
         )
 
 
-def collect_link_stats(network: WormholeNetwork, window_ps: int,
+def collect_link_stats(network: NetworkModel, window_ps: int,
                        params: MyrinetParams) -> LinkUtilization:
-    """Snapshot utilisation of all inter-switch channels."""
+    """Snapshot utilisation of all inter-switch channels.
+
+    Works with any engine through the uniform
+    :meth:`~repro.sim.base.NetworkModel.link_flit_counts` accessor;
+    engines without the ``link_stats`` capability raise
+    :class:`~repro.sim.base.UnsupportedCapability`.
+    """
     if window_ps <= 0:
         raise ValueError("window must be positive")
     ends = []
@@ -93,13 +98,11 @@ def collect_link_stats(network: WormholeNetwork, window_ps: int,
     resv = []
     num_links = network.graph.num_links
     per_link = np.zeros(num_links)
-    for ch in network.channels:
-        if ch.kind != NET:
-            continue
+    for ch in network.link_flit_counts():
         ends.append((ch.src, ch.dst, ch.link_id))
-        u = ch.utilization(window_ps, params.flit_cycle_ps)
+        u = ch.flits * params.flit_cycle_ps / window_ps
         util.append(u)
-        resv.append(ch.reserved_fraction(window_ps))
+        resv.append(ch.reserved_ps / window_ps)
         per_link[ch.link_id] = max(per_link[ch.link_id], u)
     return LinkUtilization(window_ps, ends, np.array(util), np.array(resv),
                            per_link)

@@ -1,28 +1,45 @@
 """Discrete-event simulation of Myrinet-style source-routed networks.
 
-Two engines share the same topology/routing substrate:
+All engines are backends of one abstract network layer,
+:class:`~repro.sim.base.NetworkModel`, which owns the engine-independent
+surface (message creation, route selection, delivery callbacks, the
+deadlock watchdog, tracer attachment) and a declared-capabilities API.
+Backends register by name in :mod:`repro.sim.engines` and are selected
+with :func:`make_network`; two ship in-tree:
 
-* :mod:`network` -- the **packet-level wormhole model** used for all
-  paper-scale experiments.  Packets acquire output ports hop by hop
-  (150 ns routing, demand-slotted round-robin arbitration) and hold every
-  channel of the current leg until the tail drains; in-transit hosts
-  eject and re-inject packets with the measured 275 ns + 200 ns
-  overheads.
-* :mod:`flitlevel` -- a **flit-level model** with explicit 80-byte slack
-  buffers and the 56/40-byte stop&go protocol; much slower, used to
-  validate the packet-level approximation on small networks.
+* ``"packet"`` (:mod:`network`) -- the **packet-level wormhole model**
+  used for all paper-scale experiments.  Packets acquire output ports
+  hop by hop (150 ns routing, demand-slotted round-robin arbitration)
+  and hold every channel of the current leg until the tail drains;
+  in-transit hosts eject and re-inject packets with the measured
+  275 ns + 200 ns overheads.
+* ``"flit"`` (:mod:`flitlevel`) -- a **flit-level model** with explicit
+  80-byte slack buffers and the 56/40-byte stop&go protocol; much
+  slower, used to validate the packet-level approximation on small
+  networks.
 
-:mod:`engine` provides the shared event queue.
+Both declare the full capability set (link statistics, ITB pool,
+tracing), so metrics and traces are engine-uniform.  :mod:`engine`
+provides the shared event queue.
 """
 
 from __future__ import annotations
 
+from .base import (ALL_CAPABILITIES, CAP_ITB_POOL, CAP_LINK_STATS,
+                   CAP_TRACE, ItbStats, LinkChannelStats, NetworkModel,
+                   UnsupportedCapability)
 from .engine import Simulator, DeadlockError
+from .engines import (available_engines, engine_capabilities, get_engine,
+                      make_network, register, unregister)
 from .packet import Packet
 from .network import WormholeNetwork
 from .flitlevel import FlitLevelNetwork
 from .trace import PacketTracer, TraceEvent, format_trace
 
-__all__ = ["Simulator", "DeadlockError", "Packet", "WormholeNetwork",
-           "FlitLevelNetwork", "PacketTracer", "TraceEvent",
-           "format_trace"]
+__all__ = ["Simulator", "DeadlockError", "Packet", "NetworkModel",
+           "UnsupportedCapability", "LinkChannelStats", "ItbStats",
+           "ALL_CAPABILITIES", "CAP_LINK_STATS", "CAP_ITB_POOL",
+           "CAP_TRACE", "register", "unregister", "available_engines",
+           "engine_capabilities", "get_engine", "make_network",
+           "WormholeNetwork", "FlitLevelNetwork", "PacketTracer",
+           "TraceEvent", "format_trace"]

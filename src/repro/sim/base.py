@@ -1,0 +1,268 @@
+"""The abstract network-model layer shared by every simulation engine.
+
+Historically the packet-level and flit-level simulators were two
+hand-rolled classes that duplicated their whole public surface (pid
+allocation, route selection, ``send``, delivery callbacks, the deadlock
+watchdog, ITB leg bookkeeping) while silently diverging in capability:
+only the packet engine had link statistics, a tracer and the ITB pool
+model, so the experiment runner carried engine conditionals and
+fabricated zeros for the rest.
+
+:class:`NetworkModel` owns everything engine-independent and defines a
+small contract for backends:
+
+* ``_build()``            -- construct channels / wires / NIC state;
+* ``_inject(pkt)``        -- start leg 0 of a freshly created packet;
+* ``_reset_engine_stats`` -- zero engine-specific counters at the end
+  of warm-up (the base resets nothing else).
+
+Backends declare what they can measure through :meth:`capabilities`
+(:data:`CAP_LINK_STATS`, :data:`CAP_ITB_POOL`, :data:`CAP_TRACE`) and
+expose those measurements through the uniform accessors
+:meth:`link_flit_counts` and :meth:`itb_stats`; asking for a
+measurement the engine does not support raises
+:class:`UnsupportedCapability` instead of returning fabricated numbers.
+Engines are selected by name through :mod:`repro.sim.engines`, so
+callers (runner, CLI, config validation) never mention a concrete
+engine class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..config import MyrinetParams
+from ..routing.policies import PathSelectionPolicy
+from ..routing.routes import SourceRoute
+from ..routing.table import RoutingTables
+from ..topology.graph import NetworkGraph
+from .engine import DeadlockError, Simulator
+from .packet import Packet
+from .trace import PacketTracer
+
+DeliveryCallback = Callable[[Packet], None]
+
+#: engine can report per-directed-channel flit/reservation statistics
+CAP_LINK_STATS = "link_stats"
+#: engine models the finite in-transit buffer pool (admission, peak,
+#: overflow staging through host memory)
+CAP_ITB_POOL = "itb_pool"
+#: engine emits :class:`~repro.sim.trace.PacketTracer` events
+CAP_TRACE = "trace"
+
+#: every capability a backend may declare
+ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
+
+
+class UnsupportedCapability(RuntimeError):
+    """A measurement was requested from an engine that declared itself
+    unable to provide it (see :meth:`NetworkModel.capabilities`)."""
+
+
+@dataclass(frozen=True)
+class LinkChannelStats:
+    """Flit accounting of one directed inter-switch channel."""
+
+    #: source switch id
+    src: int
+    #: destination switch id
+    dst: int
+    #: physical cable id
+    link_id: int
+    #: flits that crossed the channel since the last stats reset
+    flits: int
+    #: time the channel was reserved by some packet, picoseconds
+    reserved_ps: int
+
+
+@dataclass(frozen=True)
+class ItbStats:
+    """Aggregate in-transit buffer pool statistics over all NICs."""
+
+    #: highest single-NIC pool occupancy observed, bytes
+    peak_bytes: int
+    #: in-transit packets that found their NIC pool full on arrival
+    overflow_count: int
+    #: in-transit packets processed (ejected + re-injected)
+    packets: int
+
+
+#: what an engine without any ITB traffic reports
+NO_ITB_STATS = ItbStats(peak_bytes=0, overflow_count=0, packets=0)
+
+
+class NetworkModel(ABC):
+    """Abstract network layer: one topology + routing tables wired into
+    a running simulation, independent of the timing fidelity.
+
+    Subclasses implement the three-method engine contract (see module
+    docstring) and override the uniform accessors for each capability
+    they declare.  Everything else -- message creation, route selection,
+    delivery bookkeeping, the watchdog -- lives here exactly once.
+    """
+
+    #: registry name, set by :func:`repro.sim.engines.register`
+    name: str = "abstract"
+
+    #: capabilities this backend declares (override per engine)
+    CAPABILITIES: frozenset = frozenset()
+
+    def __init__(self, sim: Simulator, graph: NetworkGraph,
+                 tables: RoutingTables, policy: PathSelectionPolicy,
+                 params: MyrinetParams, message_bytes: int = 512) -> None:
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self.sim = sim
+        self.graph = graph
+        self.tables = tables
+        self.policy = policy
+        self.params = params
+        self.message_bytes = message_bytes
+
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_since_check = 0
+        self._next_pid = 0
+        self._delivery_callbacks: List[DeliveryCallback] = []
+        #: optional :class:`~repro.sim.trace.PacketTracer`; engines
+        #: without :data:`CAP_TRACE` reject assignment (see setter)
+        self._tracer: Optional[PacketTracer] = None
+        self._build()
+
+    # -- engine contract ---------------------------------------------------
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Construct the engine's channels / wires / NIC state."""
+
+    @abstractmethod
+    def _inject(self, pkt: Packet) -> None:
+        """Start leg 0 of a freshly created packet at the current time."""
+
+    @abstractmethod
+    def _reset_engine_stats(self) -> None:
+        """Zero engine-specific statistics (end of warm-up)."""
+
+    # -- capabilities ------------------------------------------------------
+
+    @classmethod
+    def capabilities(cls) -> frozenset:
+        """The measurement capabilities this backend declares."""
+        return cls.CAPABILITIES
+
+    def require(self, capability: str) -> None:
+        """Raise :class:`UnsupportedCapability` unless this engine
+        declared ``capability``."""
+        if capability not in self.capabilities():
+            raise UnsupportedCapability(
+                f"engine {self.name!r} does not support {capability!r} "
+                f"(declared: {sorted(self.capabilities()) or 'none'})")
+
+    # -- uniform accessors (overridden by capable engines) -----------------
+
+    def link_flit_counts(self) -> List[LinkChannelStats]:
+        """Per directed inter-switch channel statistics
+        (requires :data:`CAP_LINK_STATS`)."""
+        self.require(CAP_LINK_STATS)
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_LINK_STATS!r} but does "
+            "not implement link_flit_counts()")
+
+    def itb_stats(self) -> ItbStats:
+        """Aggregate in-transit pool statistics
+        (requires :data:`CAP_ITB_POOL`)."""
+        self.require(CAP_ITB_POOL)
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_ITB_POOL!r} but does "
+            "not implement itb_stats()")
+
+    # -- tracer ------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[PacketTracer]:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[PacketTracer]) -> None:
+        if tracer is not None:
+            self.require(CAP_TRACE)
+        self._tracer = tracer
+
+    def _trace(self, event: str, pid: int, node: int, leg: int,
+               t_ps: Optional[int] = None) -> None:
+        """Record a tracer event (no-op without an attached tracer)."""
+        if self._tracer is not None:
+            self._tracer.record(self.sim.now if t_ps is None else t_ps,
+                                event, pid, node, leg)
+
+    # -- shared public API -------------------------------------------------
+
+    def add_delivery_callback(self, cb: DeliveryCallback) -> None:
+        """``cb(packet)`` runs at the instant a packet is fully delivered."""
+        self._delivery_callbacks.append(cb)
+
+    def send(self, src_host: int, dst_host: int,
+             nbytes: Optional[int] = None) -> Packet:
+        """Hand a message to ``src_host``'s NIC at the current sim time.
+
+        ``nbytes`` overrides the network's default message size (the
+        paper uses one fixed size per simulation).
+        """
+        if src_host == dst_host:
+            raise ValueError("a host does not send messages to itself")
+        route = self._select_route(src_host, dst_host)
+        pkt = Packet(self._next_pid, src_host, dst_host,
+                     nbytes if nbytes is not None else self.message_bytes,
+                     route, self.sim.now, self.params)
+        self._next_pid += 1
+        self.generated += 1
+        self._inject(pkt)
+        return pkt
+
+    @property
+    def in_flight(self) -> int:
+        return self.generated - self.delivered
+
+    def install_watchdog(self, interval_ps: int) -> None:
+        """Abort with :class:`DeadlockError` when packets are in flight
+        but nothing was delivered for a whole ``interval_ps``."""
+        def check() -> None:
+            if self.in_flight > 0 and self.delivered_since_check == 0:
+                raise DeadlockError(
+                    f"{self.name} engine: no delivery for {interval_ps} ps "
+                    f"with {self.in_flight} packets in flight "
+                    f"at t={self.sim.now}")
+            self.delivered_since_check = 0
+        self.sim.set_watchdog(interval_ps, check)
+
+    def reset_stats(self) -> None:
+        """End-of-warm-up reset of the engine's statistics."""
+        self._reset_engine_stats()
+
+    # -- shared internals --------------------------------------------------
+
+    def _select_route(self, src_host: int, dst_host: int) -> SourceRoute:
+        src_sw = self.graph.host_switch(src_host)
+        dst_sw = self.graph.host_switch(dst_host)
+        alts = self.tables.alternatives(src_sw, dst_sw)
+        if len(alts) == 1:
+            return alts[0]
+        return self.policy.select(src_host, dst_host, alts)
+
+    def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
+        """The NIC a leg ends at: an in-transit host, or the destination."""
+        if leg_idx == pkt.num_legs - 1:
+            return pkt.dst_host
+        return pkt.route.itb_hosts[leg_idx]
+
+    def _finish_delivery(self, pkt: Packet, t_ps: int) -> None:
+        """Common delivery bookkeeping, run at the delivery instant."""
+        pkt.delivered_ps = t_ps
+        self.delivered += 1
+        self.delivered_since_check += 1
+        self._trace("deliver", pkt.pid, pkt.dst_host, pkt.num_legs - 1,
+                    t_ps=t_ps)
+        for cb in self._delivery_callbacks:
+            cb(pkt)

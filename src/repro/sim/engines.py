@@ -1,0 +1,80 @@
+"""Engine registry: simulation backends selected by name.
+
+Every :class:`~repro.sim.base.NetworkModel` backend registers itself
+under a short name (``"packet"``, ``"flit"``), and everything outside
+:mod:`repro.sim` -- the experiment runner, the CLI, config validation --
+dispatches through this registry instead of importing concrete engine
+classes.  Registering a third engine is one decorator::
+
+    from repro.sim.base import NetworkModel, CAP_LINK_STATS
+    from repro.sim.engines import register
+
+    @register("analytic")
+    class AnalyticNetwork(NetworkModel):
+        CAPABILITIES = frozenset({CAP_LINK_STATS})
+        ...
+
+after which ``SimConfig(engine="analytic")`` just works.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..config import MyrinetParams
+from ..routing.policies import PathSelectionPolicy
+from ..routing.table import RoutingTables
+from ..topology.graph import NetworkGraph
+from .base import NetworkModel
+from .engine import Simulator
+
+_ENGINES: Dict[str, Type[NetworkModel]] = {}
+
+
+def register(name: str):
+    """Class decorator registering a :class:`NetworkModel` backend."""
+    def deco(cls: Type[NetworkModel]) -> Type[NetworkModel]:
+        if not (isinstance(cls, type) and issubclass(cls, NetworkModel)):
+            raise TypeError(
+                f"engine {name!r} must be a NetworkModel subclass, "
+                f"got {cls!r}")
+        if name in _ENGINES:
+            raise ValueError(f"engine {name!r} is already registered")
+        cls.name = name
+        _ENGINES[name] = cls
+        return cls
+    return deco
+
+
+def unregister(name: str) -> None:
+    """Remove a registered engine (tests register throwaway backends)."""
+    _ENGINES.pop(name, None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_ENGINES))
+
+
+def get_engine(name: str) -> Type[NetworkModel]:
+    """The backend class registered under ``name``."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: "
+            f"{', '.join(available_engines()) or 'none'}") from None
+
+
+def engine_capabilities(name: str) -> frozenset:
+    """Declared capabilities of a registered engine."""
+    return get_engine(name).capabilities()
+
+
+def make_network(name: str, sim: Simulator, graph: NetworkGraph,
+                 tables: RoutingTables, policy: PathSelectionPolicy,
+                 params: MyrinetParams,
+                 message_bytes: int = 512) -> NetworkModel:
+    """Instantiate the engine registered under ``name``."""
+    return get_engine(name)(sim, graph, tables, policy, params,
+                            message_bytes=message_bytes)

@@ -17,27 +17,35 @@ moves individual flits:
   deadlock-freedom property), recognise in-transit packets 275 ns after
   the header arrives and are ready to re-inject 200 ns later; the
   re-injection DMA never outruns reception (cut-through at the NIC).
+* in-transit packets are charged against the same finite NIC buffer
+  pool as in the packet-level engine (:class:`~repro.sim.nic.ItbPool`):
+  a packet that finds the pool full is staged through host memory,
+  paying the overflow penalty before re-injection.
 
 The engine is O(flits x hops) and therefore only used on small
 networks: the validation tests compare it against the packet-level
 model, bounding the error of the latter's "tail wave" approximation
 (which ignores slack-buffer absorption during stalls).
+
+Like the packet engine it is a :class:`~repro.sim.base.NetworkModel`
+backend with the full capability set (link statistics, ITB pool,
+tracing), so ``collect_links`` and :class:`PacketTracer` work
+identically against both.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..config import MyrinetParams
-from ..routing.policies import PathSelectionPolicy
-from ..routing.table import RoutingTables
-from ..topology.graph import NetworkGraph
 from .arbiter import RoundRobinArbiter
-from .engine import DeadlockError, Simulator
+from .base import (CAP_ITB_POOL, CAP_LINK_STATS, CAP_TRACE, ItbStats,
+                   LinkChannelStats, NetworkModel)
+from .engine import Simulator
+from .engines import register
+from .nic import ItbPool
 from .packet import Packet
-
-DeliveryCallback = Callable[[Packet], None]
 
 #: a flit in flight: (packet, leg index, first-of-leg, last-of-leg)
 Flit = Tuple[Packet, int, bool, bool]
@@ -183,27 +191,31 @@ class _RxBuffer:
 class _OutputPort(_TxPort):
     """Switch output port: RR arbitration + routing delay + pull loop."""
 
-    __slots__ = ("arbiter", "packet", "src_buffer", "granted_ps",
-                 "reserved_ps")
+    __slots__ = ("net", "node", "arbiter", "packet", "src_buffer",
+                 "granted_ps", "reserved_ps")
 
-    def __init__(self, sim: Simulator, wire: _Wire,
-                 params: MyrinetParams) -> None:
-        super().__init__(sim, wire, params)
+    def __init__(self, net: "FlitLevelNetwork", node: int,
+                 wire: _Wire) -> None:
+        super().__init__(net.sim, wire, net.params)
+        self.net = net
+        #: switch this port belongs to (trace "grant" location)
+        self.node = node
         self.arbiter = RoundRobinArbiter()
         self.packet: Optional[Packet] = None
         self.src_buffer: Optional[_RxBuffer] = None
         self.granted_ps = 0
         self.reserved_ps = 0
 
-    def request(self, buf: _RxBuffer, pkt: Packet) -> None:
+    def request(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.arbiter.request(buf.channel_key, pkt,
-                             lambda: self._granted(buf, pkt))
+                             lambda: self._granted(buf, pkt, leg_idx))
 
-    def _granted(self, buf: _RxBuffer, pkt: Packet) -> None:
+    def _granted(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.packet = pkt
         self.src_buffer = buf
         buf.consumer = self
         self.granted_ps = self.sim.now
+        self.net._trace("grant", pkt.pid, self.node, leg_idx)
         # first flit pays the routing decision latency
         self._next_free_ps = max(self._next_free_ps,
                                  self.sim.now + self.params.routing_delay_ps)
@@ -254,7 +266,7 @@ class _NicInjector(_TxPort):
             if sent >= wire_len:
                 self.jobs.popleft()
                 if leg_idx > 0:
-                    self.net._itb_done(pkt, leg_idx - 1)
+                    self.net._itb_done(pkt, leg_idx - 1, self.host)
                 continue
             if leg_idx > 0:
                 # re-injection must not outrun reception of the
@@ -265,39 +277,22 @@ class _NicInjector(_TxPort):
             job[2] = sent + 1
             first = sent == 0
             last = sent + 1 >= wire_len
-            if leg_idx == 0 and first and pkt.injected_ps is None:
-                pkt.injected_ps = self.sim.now
+            if first:
+                if leg_idx == 0 and pkt.injected_ps is None:
+                    pkt.injected_ps = self.sim.now
+                self.net._trace("inject" if leg_idx == 0 else "reinject",
+                                pkt.pid, self.host, leg_idx)
             return pkt, leg_idx, first, last
         return None
 
 
-class FlitLevelNetwork:
+@register("flit")
+class FlitLevelNetwork(NetworkModel):
     """Flit-accurate counterpart of
-    :class:`~repro.sim.network.WormholeNetwork` (same public surface for
-    sending, delivery callbacks and the deadlock watchdog)."""
+    :class:`~repro.sim.network.WormholeNetwork` (same
+    :class:`~repro.sim.base.NetworkModel` surface and capability set)."""
 
-    def __init__(self, sim: Simulator, graph: NetworkGraph,
-                 tables: RoutingTables, policy: PathSelectionPolicy,
-                 params: MyrinetParams, message_bytes: int = 512) -> None:
-        if message_bytes <= 0:
-            raise ValueError("message size must be positive")
-        self.sim = sim
-        self.graph = graph
-        self.tables = tables
-        self.policy = policy
-        self.params = params
-        self.message_bytes = message_bytes
-
-        self.generated = 0
-        self.delivered = 0
-        self.delivered_since_check = 0
-        self._next_pid = 0
-        self._delivery_callbacks: List[DeliveryCallback] = []
-
-        #: per (pid, leg): flits of that leg received at its ITB host
-        self._itb_rx: Dict[Tuple[int, int], int] = {}
-
-        self._build()
+    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
 
     # -- construction ----------------------------------------------------
 
@@ -308,6 +303,15 @@ class FlitLevelNetwork:
         self._out_ports: Dict[Tuple, _OutputPort] = {}
         self._injectors: List[_NicInjector] = []
         self._wires: List[_Wire] = []
+        #: per directed inter-switch channel: (wire, port, src, dst, link)
+        self._net_channels: List[Tuple[_Wire, _OutputPort, int, int, int]] = []
+        #: per host: finite in-transit buffer pool (same accounting as
+        #: the packet engine's NICs)
+        self._itb_pools: List[ItbPool] = []
+        #: per (pid, leg): flits of that leg received at its ITB host
+        self._itb_rx: Dict[Tuple[int, int], int] = {}
+        #: end-of-warm-up timestamp (clamps in-progress reservations)
+        self._stats_reset_ps = 0
         key = 0
 
         def wire(name: str) -> _Wire:
@@ -318,7 +322,9 @@ class FlitLevelNetwork:
         for link in g.links:
             for frm, to in ((link.a, link.b), (link.b, link.a)):
                 w = wire(f"net{link.id}:{frm}->{to}")
-                self._out_ports[(frm, to)] = _OutputPort(sim, w, p)
+                port = _OutputPort(self, frm, w)
+                self._out_ports[(frm, to)] = port
+                self._net_channels.append((w, port, frm, to, link.id))
                 _RxBuffer(self, w, channel_key=key, switch=to)
                 key += 1
         for host in g.hosts:
@@ -327,58 +333,47 @@ class FlitLevelNetwork:
             _RxBuffer(self, w_in, channel_key=key, switch=host.switch)
             key += 1
             w_out = wire(f"dlv{host.id}")
-            self._out_ports[("dlv", host.id)] = _OutputPort(sim, w_out, p)
+            self._out_ports[("dlv", host.id)] = _OutputPort(
+                self, host.switch, w_out)
             _RxBuffer(self, w_out, channel_key=key, nic=host.id)
             key += 1
+            self._itb_pools.append(ItbPool(host.id))
 
-    # -- public API --------------------------------------------------------
+    # -- NetworkModel contract ---------------------------------------------
 
-    def add_delivery_callback(self, cb: DeliveryCallback) -> None:
-        self._delivery_callbacks.append(cb)
+    def _inject(self, pkt: Packet) -> None:
+        self._injectors[pkt.src_host].enqueue(pkt, 0)
 
-    @property
-    def in_flight(self) -> int:
-        return self.generated - self.delivered
-
-    def install_watchdog(self, interval_ps: int) -> None:
-        def check() -> None:
-            if self.in_flight > 0 and self.delivered_since_check == 0:
-                raise DeadlockError(
-                    f"flit-level: no delivery for {interval_ps} ps with "
-                    f"{self.in_flight} packets in flight")
-            self.delivered_since_check = 0
-        self.sim.set_watchdog(interval_ps, check)
-
-    def reset_stats(self) -> None:
-        """End-of-warm-up reset (wire counters and port reservations)."""
+    def _reset_engine_stats(self) -> None:
         for w in self._wires:
             w.flits_carried = 0
         for port in self._out_ports.values():
             port.reserved_ps = 0
+        for pool in self._itb_pools:
+            pool.reset_stats()
+        self._stats_reset_ps = self.sim.now
 
-    def send(self, src_host: int, dst_host: int,
-             nbytes: Optional[int] = None) -> Packet:
-        if src_host == dst_host:
-            raise ValueError("a host does not send messages to itself")
-        src_sw = self.graph.host_switch(src_host)
-        dst_sw = self.graph.host_switch(dst_host)
-        alts = self.tables.alternatives(src_sw, dst_sw)
-        route = (alts[0] if len(alts) == 1
-                 else self.policy.select(src_host, dst_host, alts))
-        pkt = Packet(self._next_pid, src_host, dst_host,
-                     nbytes if nbytes is not None else self.message_bytes,
-                     route, self.sim.now, self.params)
-        self._next_pid += 1
-        self.generated += 1
-        self._injectors[src_host].enqueue(pkt, 0)
-        return pkt
+    def link_flit_counts(self) -> List[LinkChannelStats]:
+        out = []
+        for w, port, src, dst, link_id in self._net_channels:
+            reserved = port.reserved_ps
+            if port.packet is not None:
+                # count the in-progress reservation up to the snapshot,
+                # clamped to the measurement window
+                reserved += self.sim.now - max(port.granted_ps,
+                                               self._stats_reset_ps)
+            out.append(LinkChannelStats(src, dst, link_id,
+                                        w.flits_carried, reserved))
+        return out
+
+    def itb_stats(self) -> ItbStats:
+        return ItbStats(
+            peak_bytes=max((p.itb_peak_bytes for p in self._itb_pools),
+                           default=0),
+            overflow_count=sum(p.itb_overflows for p in self._itb_pools),
+            packets=sum(p.itb_packets for p in self._itb_pools))
 
     # -- internal event handlers -------------------------------------------
-
-    def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
-        if leg_idx == pkt.num_legs - 1:
-            return pkt.dst_host
-        return pkt.route.itb_hosts[leg_idx]
 
     def _header_at_switch(self, buf: _RxBuffer, pkt: Packet,
                           leg_idx: int) -> None:
@@ -390,30 +385,38 @@ class FlitLevelNetwork:
                                     self._leg_target_host(pkt, leg_idx))]
         else:
             port = self._out_ports[(sw, leg.switches[pos + 1])]
-        port.request(buf, pkt)
+        port.request(buf, pkt, leg_idx)
 
     def _itb_received(self, pkt: Packet, leg_idx: int) -> int:
         return self._itb_rx.get((pkt.pid, leg_idx), 0)
 
-    def _itb_done(self, pkt: Packet, leg_idx: int) -> None:
+    def _itb_done(self, pkt: Packet, leg_idx: int, host: int) -> None:
+        """Re-injection of the leg after ``leg_idx`` fully left ``host``:
+        drop the cut-through counter and credit the buffer pool."""
         self._itb_rx.pop((pkt.pid, leg_idx), None)
+        self._itb_pools[host].itb_release(pkt.wire_bytes(leg_idx))
 
     def _nic_flit_received(self, nic: int, flit: Flit) -> None:
         pkt, leg_idx, first, last = flit
         if leg_idx == pkt.num_legs - 1:
             if last:
-                pkt.delivered_ps = self.sim.now
-                self.delivered += 1
-                self.delivered_since_check += 1
-                for cb in self._delivery_callbacks:
-                    cb(pkt)
+                self._finish_delivery(pkt, self.sim.now)
             return
         # in-transit: count availability for the cut-through re-injection
         key = (pkt.pid, leg_idx)
         self._itb_rx[key] = self._itb_rx.get(key, 0) + 1
         injector = self._injectors[nic]
         if first:
+            self._trace("eject", pkt.pid, nic, leg_idx)
+            # the arriving leg's bytes occupy the pool until the
+            # re-injected tail has left (same model as the packet
+            # engine); a full pool stages through host memory
+            fits = self._itb_pools[nic].itb_admit(
+                pkt.wire_bytes(leg_idx), self.params.itb_pool_bytes)
             delay = self.params.itb_detect_ps + self.params.itb_dma_setup_ps
+            if not fits:
+                pkt.itb_overflows += 1
+                delay += self.params.itb_overflow_penalty_ps
             self.sim.after(delay,
                            lambda: injector.enqueue(pkt, leg_idx + 1))
         else:

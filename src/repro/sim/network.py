@@ -28,23 +28,23 @@ Deliberately *mis-routed* configurations (e.g. minimal routing on a
 torus without ITBs) can deadlock; a progress watchdog turns that into a
 :class:`~repro.sim.engine.DeadlockError` instead of a hang, and tests
 exercise exactly that.
+
+Everything engine-independent (message creation, route selection,
+delivery callbacks, the watchdog itself) lives in
+:class:`~repro.sim.base.NetworkModel`; this module implements only the
+wormhole timing model.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..config import MyrinetParams
-from ..routing.policies import PathSelectionPolicy
-from ..routing.routes import SourceRoute
-from ..routing.table import RoutingTables
-from ..topology.graph import NetworkGraph
+from .base import (CAP_ITB_POOL, CAP_LINK_STATS, CAP_TRACE, ItbStats,
+                   LinkChannelStats, NetworkModel)
 from .channel import Channel, DEL, INJ, NET
-from .engine import DeadlockError, Simulator
+from .engines import register
 from .nic import Nic
 from .packet import Packet
-
-DeliveryCallback = Callable[[Packet], None]
 
 
 class _LegTransit:
@@ -71,44 +71,19 @@ class _LegTransit:
         self.tail_cross_ps = 0
 
 
-class WormholeNetwork:
+@register("packet")
+class WormholeNetwork(NetworkModel):
     """Wires a topology + routing tables into a running simulation."""
 
-    def __init__(self, sim: Simulator, graph: NetworkGraph,
-                 tables: RoutingTables, policy: PathSelectionPolicy,
-                 params: MyrinetParams, message_bytes: int = 512) -> None:
-        if message_bytes <= 0:
-            raise ValueError("message size must be positive")
-        self.sim = sim
-        self.graph = graph
-        self.tables = tables
-        self.policy = policy
-        self.params = params
-        self.message_bytes = message_bytes
+    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
 
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
         self.channels: List[Channel] = []
         #: (link_id, 0 for a->b / 1 for b->a) -> NET channel
         self._net: Dict[Tuple[int, int], Channel] = {}
         self.nics: List[Nic] = []
-        self._build_channels()
-
-        self.generated = 0
-        self.delivered = 0
-        self.delivered_since_check = 0
-        self._next_pid = 0
-        self._delivery_callbacks: List[DeliveryCallback] = []
-        #: optional :class:`~repro.sim.trace.PacketTracer`
-        self.tracer = None
-
-    # -- construction ------------------------------------------------------
-
-    def _new_channel(self, kind: int, src: int, dst: int,
-                     link_id: int = -1) -> Channel:
-        ch = Channel(len(self.channels), kind, src, dst, link_id)
-        self.channels.append(ch)
-        return ch
-
-    def _build_channels(self) -> None:
         g = self.graph
         for link in g.links:
             self._net[(link.id, 0)] = self._new_channel(NET, link.a, link.b,
@@ -120,66 +95,39 @@ class WormholeNetwork:
             dlv = self._new_channel(DEL, host.switch, host.id)
             self.nics.append(Nic(host.id, host.switch, inj, dlv))
 
+    def _new_channel(self, kind: int, src: int, dst: int,
+                     link_id: int = -1) -> Channel:
+        ch = Channel(len(self.channels), kind, src, dst, link_id)
+        self.channels.append(ch)
+        return ch
+
     def net_channel(self, link_id: int, frm: int) -> Channel:
         """The NET channel of cable ``link_id`` leaving switch ``frm``."""
         link = self.graph.links[link_id]
         return self._net[(link_id, 0 if frm == link.a else 1)]
 
-    # -- public API ----------------------------------------------------------
+    # -- NetworkModel contract ---------------------------------------------
 
-    def add_delivery_callback(self, cb: DeliveryCallback) -> None:
-        """``cb(packet)`` runs at the instant a packet is fully delivered."""
-        self._delivery_callbacks.append(cb)
-
-    def send(self, src_host: int, dst_host: int,
-             nbytes: int | None = None) -> Packet:
-        """Hand a message to ``src_host``'s NIC at the current sim time.
-
-        ``nbytes`` overrides the network's default message size (the
-        paper uses one fixed size per simulation).
-        """
-        if src_host == dst_host:
-            raise ValueError("a host does not send messages to itself")
-        route = self._select_route(src_host, dst_host)
-        pkt = Packet(self._next_pid, src_host, dst_host,
-                     nbytes if nbytes is not None else self.message_bytes,
-                     route, self.sim.now, self.params)
-        self._next_pid += 1
-        self.generated += 1
+    def _inject(self, pkt: Packet) -> None:
         self._start_leg(pkt, 0, self.sim.now)
-        return pkt
 
-    @property
-    def in_flight(self) -> int:
-        return self.generated - self.delivered
-
-    def install_watchdog(self, interval_ps: int) -> None:
-        """Abort with :class:`DeadlockError` when packets are in flight
-        but nothing was delivered for a whole ``interval_ps``."""
-        def check() -> None:
-            if self.in_flight > 0 and self.delivered_since_check == 0:
-                raise DeadlockError(
-                    f"no delivery for {interval_ps} ps with "
-                    f"{self.in_flight} packets in flight at t={self.sim.now}")
-            self.delivered_since_check = 0
-        self.sim.set_watchdog(interval_ps, check)
-
-    def reset_stats(self) -> None:
-        """End-of-warm-up reset of channel and NIC statistics."""
+    def _reset_engine_stats(self) -> None:
         for ch in self.channels:
             ch.reset_stats()
         for nic in self.nics:
             nic.reset_stats()
 
-    # -- route selection -----------------------------------------------------
+    def link_flit_counts(self) -> List[LinkChannelStats]:
+        return [LinkChannelStats(ch.src, ch.dst, ch.link_id,
+                                 ch.transfer_flits, ch.reserved_ps)
+                for ch in self.channels if ch.kind == NET]
 
-    def _select_route(self, src_host: int, dst_host: int) -> SourceRoute:
-        src_sw = self.graph.host_switch(src_host)
-        dst_sw = self.graph.host_switch(dst_host)
-        alts = self.tables.alternatives(src_sw, dst_sw)
-        if len(alts) == 1:
-            return alts[0]
-        return self.policy.select(src_host, dst_host, alts)
+    def itb_stats(self) -> ItbStats:
+        return ItbStats(
+            peak_bytes=max((nic.itb_peak_bytes for nic in self.nics),
+                           default=0),
+            overflow_count=sum(nic.itb_overflows for nic in self.nics),
+            packets=sum(nic.itb_packets for nic in self.nics))
 
     # -- packet progression ---------------------------------------------------
 
@@ -210,10 +158,8 @@ class WormholeNetwork:
         pkt = transit.pkt
         if transit.leg_idx == 0 and pkt.injected_ps is None:
             pkt.injected_ps = g
-        if self.tracer is not None:
-            self.tracer.record(g, "inject" if transit.leg_idx == 0
-                               else "reinject", pkt.pid, inj.src,
-                               transit.leg_idx)
+        self._trace("inject" if transit.leg_idx == 0 else "reinject",
+                    pkt.pid, inj.src, transit.leg_idx)
         if transit.short:
             # whole packet leaves the NIC wire-length flit cycles later
             transit.tail_cross_ps = (g + pkt.wire_bytes(transit.leg_idx)
@@ -240,9 +186,7 @@ class WormholeNetwork:
                       out: Channel) -> None:
         g = self.sim.now
         transit.holds.append((out, g))
-        if self.tracer is not None:
-            self.tracer.record(g, "grant", transit.pkt.pid, out.src,
-                               transit.leg_idx)
+        self._trace("grant", transit.pkt.pid, out.src, transit.leg_idx)
         if transit.short:
             # virtual-cut-through regime: the whole packet fits in the
             # slack buffer just vacated, so the channel *behind* it can
@@ -268,11 +212,6 @@ class WormholeNetwork:
             self.sim.at(t_next, lambda: self._head_at_switch(transit, pos + 1))
         else:
             self.sim.at(t_next, lambda: self._head_at_nic(transit))
-
-    def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
-        if leg_idx == pkt.num_legs - 1:
-            return pkt.dst_host
-        return pkt.route.itb_hosts[leg_idx]
 
     def _head_at_nic(self, transit: _LegTransit) -> None:
         """Header fully at the leg's target NIC; compute the tail wave,
@@ -314,12 +253,11 @@ class WormholeNetwork:
 
         last_leg = transit.leg_idx == pkt.num_legs - 1
         if last_leg:
-            sim.at(t_tail, lambda: self._delivered(pkt, t_tail))
+            sim.at(t_tail, lambda: self._finish_delivery(pkt, t_tail))
         else:
             host = pkt.route.itb_hosts[transit.leg_idx]
-            if self.tracer is not None:
-                self.tracer.record(t_head, "eject", pkt.pid, host,
-                                   transit.leg_idx)
+            self._trace("eject", pkt.pid, host, transit.leg_idx,
+                        t_ps=t_head)
             nic = self.nics[host]
             fits = nic.itb_admit(wire, params.itb_pool_bytes)
             t_ready = t_head + params.itb_detect_ps + params.itb_dma_setup_ps
@@ -338,13 +276,3 @@ class WormholeNetwork:
                 self.nics[pool_host].itb_release(pool_bytes)
             ch.arbiter.release(pkt)
         self.sim.at(rel, release)
-
-    def _delivered(self, pkt: Packet, t_tail: int) -> None:
-        pkt.delivered_ps = t_tail
-        self.delivered += 1
-        self.delivered_since_check += 1
-        if self.tracer is not None:
-            self.tracer.record(t_tail, "deliver", pkt.pid, pkt.dst_host,
-                               pkt.num_legs - 1)
-        for cb in self._delivery_callbacks:
-            cb(pkt)

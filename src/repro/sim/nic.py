@@ -14,6 +14,10 @@ Each host owns one NIC with
   costs :attr:`~repro.config.MyrinetParams.itb_overflow_penalty_ps`
   extra before re-injection (and is counted, so experiments can report
   how often the 90 KB pool actually overflows).
+
+The pool accounting itself is engine-independent
+(:class:`ItbPool`): the packet-level engine uses it through
+:class:`Nic`, the flit-level engine holds one bare pool per host.
 """
 
 from __future__ import annotations
@@ -21,25 +25,21 @@ from __future__ import annotations
 from .channel import Channel
 
 
-class Nic:
-    """Per-host interface card bookkeeping."""
+class ItbPool:
+    """In-transit buffer pool occupancy accounting for one host."""
 
-    __slots__ = ("host", "switch", "inj", "dlv", "itb_bytes",
-                 "itb_peak_bytes", "itb_overflows", "itb_packets")
+    __slots__ = ("host", "itb_bytes", "itb_peak_bytes", "itb_overflows",
+                 "itb_packets")
 
-    def __init__(self, host: int, switch: int, inj: Channel,
-                 dlv: Channel) -> None:
+    def __init__(self, host: int = -1) -> None:
         self.host = host
-        self.switch = switch
-        self.inj = inj
-        self.dlv = dlv
         #: bytes of in-transit packets currently resident
         self.itb_bytes = 0
         #: high-water mark of :attr:`itb_bytes`
         self.itb_peak_bytes = 0
         #: in-transit packets that found the pool full on arrival
         self.itb_overflows = 0
-        #: in-transit packets processed by this NIC
+        #: in-transit packets processed by this pool
         self.itb_packets = 0
 
     def itb_admit(self, nbytes: int, pool_bytes: int) -> bool:
@@ -70,3 +70,16 @@ class Nic:
         self.itb_peak_bytes = self.itb_bytes
         self.itb_overflows = 0
         self.itb_packets = 0
+
+
+class Nic(ItbPool):
+    """Per-host interface card bookkeeping (packet-level engine)."""
+
+    __slots__ = ("switch", "inj", "dlv")
+
+    def __init__(self, host: int, switch: int, inj: Channel,
+                 dlv: Channel) -> None:
+        super().__init__(host)
+        self.switch = switch
+        self.inj = inj
+        self.dlv = dlv

@@ -1,8 +1,9 @@
 """Packet event tracing for debugging and teaching.
 
-Attach a :class:`PacketTracer` to a
-:class:`~repro.sim.network.WormholeNetwork` (``network.tracer = tracer``)
-and every traced packet's life cycle is recorded:
+Attach a :class:`PacketTracer` to any engine with the ``trace``
+capability (``network.tracer = tracer`` -- both the packet-level and
+flit-level backends qualify) and every traced packet's life cycle is
+recorded:
 
 * ``inject``   -- granted its source NIC's injection channel;
 * ``grant``    -- granted a switch output port (one per hop);

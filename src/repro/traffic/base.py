@@ -17,8 +17,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from ..sim.base import NetworkModel
 from ..sim.engine import Simulator
-from ..sim.network import WormholeNetwork
 from ..topology.graph import NetworkGraph
 from ..units import PS_PER_NS
 
@@ -69,13 +69,17 @@ def per_host_interval_ps(rate_flits_ns_switch: float, message_bytes: int,
 class TrafficProcess:
     """Drives constant-rate generation for every active host.
 
+    Depends only on the abstract :class:`~repro.sim.base.NetworkModel`
+    interface (it just calls ``send``), so it works unchanged with any
+    registered engine.
+
     Each host gets its own deterministic RNG stream (seeded from the run
     seed and the host id) for destination sampling and its initial
     phase, so runs are reproducible and adding hosts does not perturb
     other hosts' streams.
     """
 
-    def __init__(self, sim: Simulator, network: WormholeNetwork,
+    def __init__(self, sim: Simulator, network: NetworkModel,
                  pattern: TrafficPattern, interval_ps: int, seed: int,
                  max_messages: int = 0) -> None:
         if interval_ps <= 0:

@@ -201,9 +201,15 @@ class TestRunnerIntegration:
                                         measure_ps=ns(100_000)))
         assert s.messages_delivered > 0
 
-    def test_link_stats_unsupported(self):
-        with pytest.raises(ValueError, match="packet engine"):
-            run_simulation(small_config(engine="flit"), collect_links=True)
+    def test_link_stats_supported(self):
+        """The unified NetworkModel surface made ``collect_links`` work
+        for the flit engine too (it used to raise)."""
+        s = run_simulation(small_config(engine="flit",
+                                        measure_ps=ns(100_000)),
+                           collect_links=True)
+        assert s.link_utilization is not None
+        assert len(s.link_utilization.per_link) == 32  # 4x4 torus links
+        assert s.link_utilization.per_link.max() > 0
 
     def test_bad_engine_rejected(self):
         with pytest.raises(ValueError):
