@@ -14,6 +14,7 @@ its two latencies:
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from ..sim.packet import Packet
@@ -89,7 +90,13 @@ class LatencyCollector:
         return self.payload_flits * 1_000 / (window_ps * num_switches)
 
     def percentile_ns(self, q: float) -> Optional[float]:
-        """Latency percentile; requires ``keep_samples=True``."""
+        """Latency percentile (nearest-rank); requires
+        ``keep_samples=True``.
+
+        The nearest-rank definition: the smallest sample such that at
+        least ``q`` of the data is <= it, i.e. rank ``ceil(q * n)``
+        (1-based) with ``q = 0`` mapping to the minimum.
+        """
         if not self.keep_samples:
             raise RuntimeError("collector was created with keep_samples=False")
         if not self.samples_ps:
@@ -97,5 +104,5 @@ class LatencyCollector:
         if not (0.0 <= q <= 1.0):
             raise ValueError("percentile must be in [0, 1]")
         data = sorted(self.samples_ps)
-        idx = min(len(data) - 1, int(q * len(data)))
+        idx = max(0, math.ceil(q * len(data)) - 1)
         return data[idx] / 1_000

@@ -45,12 +45,17 @@ class SaturationResult:
 
 def find_saturation(run_at: RunAt, start_rate: float,
                     growth: float = 1.5, refine_steps: int = 3,
-                    max_rate: float = 10.0) -> SaturationResult:
+                    max_rate: float = 10.0,
+                    max_down_steps: int = 12) -> SaturationResult:
     """Locate saturation throughput via geometric ramp + bisection.
 
     ``start_rate`` should be comfortably below saturation; ``growth``
     is the ramp factor; ``refine_steps`` bisection iterations bound the
     rate bracket to ``(growth - 1) / 2**refine_steps`` relative error.
+    When ``start_rate`` itself saturates the search ramps *down*
+    geometrically (at most ``max_down_steps`` times) until a stable
+    rate is found, so ``last_stable_rate`` is a measured operating
+    point rather than the never-probed 0.0.
     """
     if start_rate <= 0:
         raise ValueError("start_rate must be positive")
@@ -77,6 +82,20 @@ def find_saturation(run_at: RunAt, start_rate: float,
                 # never saturated within bounds: report what we saw
                 return SaturationResult(_knee(runs), lo, float("inf"),
                                         runs)
+
+    if lo == 0.0:
+        # start_rate saturated on the first probe: no rate below it was
+        # measured, so bisecting against lo=0 would misreport a stable
+        # rate that was never observed -- ramp down until one is found
+        rate = hi / growth
+        for _ in range(max_down_steps):
+            s = measure(rate)
+            if s.saturated:
+                hi = rate
+                rate /= growth
+            else:
+                lo = rate
+                break
 
     for _ in range(refine_steps):
         mid = (lo + hi) / 2

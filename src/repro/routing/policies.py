@@ -29,10 +29,22 @@ class PathSelectionPolicy(ABC):
     name: str = "abstract"
 
     @abstractmethod
+    def select_index(self, src_host: int, dst_host: int,
+                     alternatives: Sequence[SourceRoute]) -> int:
+        """Index of the alternative the next packet from ``src_host``
+        to ``dst_host`` should take.
+
+        The network stores this index on the packet
+        (:attr:`~repro.sim.packet.Packet.alt_index`), so feedback can
+        be attributed to the alternative even after routing tables are
+        rebuilt (route *objects* are not stable identifiers)."""
+
     def select(self, src_host: int, dst_host: int,
                alternatives: Sequence[SourceRoute]) -> SourceRoute:
         """Pick the route for the next packet from ``src_host`` to
-        ``dst_host``."""
+        ``dst_host`` (convenience wrapper around :meth:`select_index`)."""
+        return alternatives[self.select_index(src_host, dst_host,
+                                              alternatives)]
 
     def feedback(self, pkt) -> None:
         """Delivery notification (called by the network for every
@@ -45,9 +57,9 @@ class SinglePathPolicy(PathSelectionPolicy):
 
     name = "sp"
 
-    def select(self, src_host: int, dst_host: int,
-               alternatives: Sequence[SourceRoute]) -> SourceRoute:
-        return alternatives[0]
+    def select_index(self, src_host: int, dst_host: int,
+                     alternatives: Sequence[SourceRoute]) -> int:
+        return 0
 
 
 class RoundRobinPolicy(PathSelectionPolicy):
@@ -76,15 +88,15 @@ class RoundRobinPolicy(PathSelectionPolicy):
         x ^= x >> 13
         return x & 0x7FFFFFFF
 
-    def select(self, src_host: int, dst_host: int,
-               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+    def select_index(self, src_host: int, dst_host: int,
+                     alternatives: Sequence[SourceRoute]) -> int:
         key = (src_host, dst_host)
         i = self._next.get(key)
         if i is None:
             i = self._start_index(src_host, dst_host)
         i %= len(alternatives)
         self._next[key] = i + 1
-        return alternatives[i]
+        return i
 
 
 class RandomPolicy(PathSelectionPolicy):
@@ -95,9 +107,9 @@ class RandomPolicy(PathSelectionPolicy):
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
 
-    def select(self, src_host: int, dst_host: int,
-               alternatives: Sequence[SourceRoute]) -> SourceRoute:
-        return alternatives[self._rng.randrange(len(alternatives))]
+    def select_index(self, src_host: int, dst_host: int,
+                     alternatives: Sequence[SourceRoute]) -> int:
+        return self._rng.randrange(len(alternatives))
 
 
 class AdaptivePolicy(PathSelectionPolicy):
@@ -126,8 +138,6 @@ class AdaptivePolicy(PathSelectionPolicy):
         self._rng = random.Random(seed)
         self.epsilon = epsilon
         self.alpha = alpha
-        #: (src, dst) -> {route object id: alternative index}
-        self._index: Dict[Tuple[int, int], Dict[int, int]] = {}
         #: (src, dst) -> per-alternative latency EWMA (ps); None = never
         #: observed
         self._ewma: Dict[Tuple[int, int], list] = {}
@@ -136,38 +146,37 @@ class AdaptivePolicy(PathSelectionPolicy):
                  alternatives: Sequence[SourceRoute]) -> list:
         """Initialise (or fetch) the pair's estimate table.
 
-        Called implicitly by :meth:`select`; feedback for a pair that
-        was never selected is ignored, so explicit registration only
-        matters when feeding observations from outside a simulation.
+        Called implicitly by :meth:`select_index`; feedback for a pair
+        that was never selected is ignored, so explicit registration
+        only matters when feeding observations from outside a
+        simulation.
         """
         key = (src_host, dst_host)
-        idx = self._index.get(key)
-        if idx is None or len(idx) != len(alternatives):
-            self._index[key] = {id(r): i
-                                for i, r in enumerate(alternatives)}
-            self._ewma[key] = [None] * len(alternatives)
-        return self._ewma[key]
+        ewma = self._ewma.get(key)
+        if ewma is None or len(ewma) != len(alternatives):
+            ewma = self._ewma[key] = [None] * len(alternatives)
+        return ewma
 
-    def select(self, src_host: int, dst_host: int,
-               alternatives: Sequence[SourceRoute]) -> SourceRoute:
+    def select_index(self, src_host: int, dst_host: int,
+                     alternatives: Sequence[SourceRoute]) -> int:
         ewma = self.register(src_host, dst_host, alternatives)
         if self._rng.random() < self.epsilon:
-            return alternatives[self._rng.randrange(len(alternatives))]
+            return self._rng.randrange(len(alternatives))
         # optimistic: any never-tried alternative first, else lowest EWMA
-        best = min(range(len(alternatives)),
+        return min(range(len(alternatives)),
                    key=lambda i: (ewma[i] is not None, ewma[i] or 0))
-        return alternatives[best]
 
     def feedback(self, pkt) -> None:
-        key = (pkt.src_host, pkt.dst_host)
-        idx = self._index.get(key)
-        if idx is None:
+        """Attribute the delivered packet's latency to the alternative
+        it travelled, identified by :attr:`Packet.alt_index` (stable
+        across routing-table rebuilds, unlike route object identity)."""
+        ewma = self._ewma.get((pkt.src_host, pkt.dst_host))
+        if ewma is None:
             return
-        i = idx.get(id(pkt.route))
-        if i is None:
+        i = pkt.alt_index
+        if not 0 <= i < len(ewma):
             return
         lat = pkt.network_latency_ps()
-        ewma = self._ewma[key]
         ewma[i] = (lat if ewma[i] is None
                    else (1 - self.alpha) * ewma[i] + self.alpha * lat)
 

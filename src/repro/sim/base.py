@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..config import MyrinetParams
 from ..routing.policies import PathSelectionPolicy
@@ -212,10 +212,11 @@ class NetworkModel(ABC):
         """
         if src_host == dst_host:
             raise ValueError("a host does not send messages to itself")
-        route = self._select_route(src_host, dst_host)
+        route, alt_index = self._select_route(src_host, dst_host)
         pkt = Packet(self._next_pid, src_host, dst_host,
                      nbytes if nbytes is not None else self.message_bytes,
-                     route, self.sim.now, self.params)
+                     route, self.sim.now, self.params,
+                     alt_index=alt_index)
         self._next_pid += 1
         self.generated += 1
         self._inject(pkt)
@@ -243,13 +244,17 @@ class NetworkModel(ABC):
 
     # -- shared internals --------------------------------------------------
 
-    def _select_route(self, src_host: int, dst_host: int) -> SourceRoute:
+    def _select_route(self, src_host: int,
+                      dst_host: int) -> Tuple[SourceRoute, int]:
+        """The route for the next packet of a pair and its alternative
+        index (carried on the packet for policy feedback)."""
         src_sw = self.graph.host_switch(src_host)
         dst_sw = self.graph.host_switch(dst_host)
         alts = self.tables.alternatives(src_sw, dst_sw)
         if len(alts) == 1:
-            return alts[0]
-        return self.policy.select(src_host, dst_host, alts)
+            return alts[0], 0
+        i = self.policy.select_index(src_host, dst_host, alts)
+        return alts[i], i
 
     def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
         """The NIC a leg ends at: an in-transit host, or the destination."""

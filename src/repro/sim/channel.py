@@ -31,7 +31,7 @@ class Channel:
     """One directed channel plus its arbiter and statistics."""
 
     __slots__ = ("cid", "kind", "src", "dst", "link_id", "arbiter",
-                 "transfer_flits", "reserved_ps")
+                 "transfer_flits", "reserved_ps", "last_reset_ps")
 
     def __init__(self, cid: int, kind: int, src: int, dst: int,
                  link_id: int = -1) -> None:
@@ -46,17 +46,37 @@ class Channel:
         self.arbiter = RoundRobinArbiter()
         self.transfer_flits = 0
         self.reserved_ps = 0
+        self.last_reset_ps = 0
 
     def record_passage(self, flits: int, granted_ps: int,
-                       released_ps: int) -> None:
-        """Account one packet crossing this channel."""
+                       released_ps: int, flit_cycle_ps: int = 0) -> None:
+        """Account one packet crossing this channel.
+
+        A packet granted the channel before the last stats reset but
+        released after it only reserved the channel for the part of the
+        hold inside the measurement window, so the grant time is
+        clamped to the reset time (otherwise ``reserved_fraction`` can
+        exceed 1 for boundary-straddling packets).  The flits stream at
+        link rate up to the release instant, so when ``flit_cycle_ps``
+        is given, flits that crossed before the reset are likewise
+        excluded (keeping utilisation <= reserved per channel, matching
+        the flit engine's count-at-crossing accounting).
+        """
+        if granted_ps < self.last_reset_ps:
+            granted_ps = self.last_reset_ps
+            if flit_cycle_ps > 0:
+                in_window = (released_ps - granted_ps) // flit_cycle_ps
+                if flits > in_window:
+                    flits = in_window
         self.transfer_flits += flits
         self.reserved_ps += released_ps - granted_ps
 
-    def reset_stats(self) -> None:
-        """Zero the counters (called at the end of warm-up)."""
+    def reset_stats(self, now_ps: int = 0) -> None:
+        """Zero the counters (called at the end of warm-up);
+        ``now_ps`` marks the start of the new measurement window."""
         self.transfer_flits = 0
         self.reserved_ps = 0
+        self.last_reset_ps = now_ps
 
     def utilization(self, window_ps: int, flit_cycle_ps: int) -> float:
         """Fraction of ``window_ps`` spent actually transferring flits."""

@@ -234,7 +234,10 @@ class _OutputPort(_TxPort):
     def _release(self) -> None:
         pkt = self.packet
         assert pkt is not None and self.src_buffer is not None
-        self.reserved_ps += self.sim.now - self.granted_ps
+        # clamp to the last stats reset: a grant that predates the
+        # measurement window only reserved the port inside the window
+        self.reserved_ps += self.sim.now - max(self.granted_ps,
+                                               self.net._stats_reset_ps)
         self.src_buffer.consumer = None
         self.packet = None
         self.src_buffer = None

@@ -112,8 +112,9 @@ class WormholeNetwork(NetworkModel):
         self._start_leg(pkt, 0, self.sim.now)
 
     def _reset_engine_stats(self) -> None:
+        now = self.sim.now
         for ch in self.channels:
-            ch.reset_stats()
+            ch.reset_stats(now)
         for nic in self.nics:
             nic.reset_stats()
 
@@ -271,7 +272,8 @@ class WormholeNetwork(NetworkModel):
                           granted: int, rel: int, pool_host: int = -1,
                           pool_bytes: int = 0) -> None:
         def release() -> None:
-            ch.record_passage(wire, granted, rel)
+            ch.record_passage(wire, granted, rel,
+                              self.params.flit_cycle_ps)
             if pool_host >= 0:
                 self.nics[pool_host].itb_release(pool_bytes)
             ch.arbiter.release(pkt)

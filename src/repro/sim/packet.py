@@ -27,17 +27,22 @@ class Packet:
     """One message travelling along a :class:`SourceRoute`."""
 
     __slots__ = ("pid", "src_host", "dst_host", "payload_bytes", "route",
-                 "created_ps", "injected_ps", "delivered_ps",
+                 "alt_index", "created_ps", "injected_ps", "delivered_ps",
                  "itb_overflows", "_leg_wire_bytes")
 
     def __init__(self, pid: int, src_host: int, dst_host: int,
                  payload_bytes: int, route: SourceRoute,
-                 created_ps: int, params: MyrinetParams) -> None:
+                 created_ps: int, params: MyrinetParams,
+                 alt_index: int = 0) -> None:
         self.pid = pid
         self.src_host = src_host
         self.dst_host = dst_host
         self.payload_bytes = payload_bytes
         self.route = route
+        #: index of ``route`` among the pair's routing-table
+        #: alternatives -- the stable identifier adaptive policies key
+        #: their feedback on (route objects change when tables rebuild)
+        self.alt_index = alt_index
         self.created_ps = created_ps
         self.injected_ps: Optional[int] = None
         self.delivered_ps: Optional[int] = None

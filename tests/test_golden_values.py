@@ -1,0 +1,168 @@
+"""Golden-value pin of the simulation core's observable behaviour.
+
+The hot-path optimisations (pre-resolved route-leg channel caches,
+allocation-free event dispatch) must not change a single simulated
+timestamp.  This suite pins, for a fixed-seed matrix of
+{packet, flit} x {updown, itb-sp, itb-rr} on the validation-size
+torus, every scalar ``RunSummary`` field plus a digest of the
+per-directed-channel flit counts and reserved times.  Any rewrite of
+the engines that perturbs event ordering or timing fails here with a
+field-level diff.
+
+The values were captured after the measurement-boundary accounting
+fixes (channel warm-up clamp, adaptive-feedback keying) and before the
+performance overhaul; regenerate them only when an intentional
+semantic change lands::
+
+    PYTHONPATH=src python tests/test_golden_values.py --regen
+"""
+
+import hashlib
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_simulation
+from repro.units import ns
+
+#: the fixed-seed matrix: (label, engine, routing, policy)
+MATRIX = [
+    ("packet-updown-sp", "packet", "updown", "sp"),
+    ("packet-itb-sp", "packet", "itb", "sp"),
+    ("packet-itb-rr", "packet", "itb", "rr"),
+    ("flit-updown-sp", "flit", "updown", "sp"),
+    ("flit-itb-sp", "flit", "itb", "sp"),
+    ("flit-itb-rr", "flit", "itb", "rr"),
+]
+
+#: RunSummary fields compared bit-exactly (floats included: every run
+#: is integer-timestamped and deterministic, so repr round-trips)
+SUMMARY_FIELDS = (
+    "offered_flits_ns_switch", "accepted_flits_ns_switch",
+    "messages_delivered", "messages_generated", "avg_latency_ns",
+    "avg_network_latency_ns", "max_latency_ns", "avg_itbs_per_message",
+    "itb_overflow_count", "itb_peak_bytes", "backlog_growth",
+)
+
+
+def _config(engine: str, routing: str, policy: str) -> SimConfig:
+    return SimConfig(
+        engine=engine, topology="torus",
+        topology_kwargs={"rows": 4, "cols": 4, "hosts_per_switch": 2},
+        routing=routing, policy=policy, traffic="uniform",
+        injection_rate=0.02, message_bytes=512, seed=7,
+        warmup_ps=ns(20_000), measure_ps=ns(60_000))
+
+
+def fingerprint(engine: str, routing: str, policy: str) -> dict:
+    """Run one matrix point and reduce it to the pinned observables."""
+    s = run_simulation(_config(engine, routing, policy),
+                       collect_links=True)
+    lu = s.link_utilization
+    # per directed channel: (src, dst, link, utilisation, reserved) --
+    # both fractions are int-flit / int-window quotients, so they are
+    # bit-identical iff the underlying counters are
+    rows = sorted(zip((tuple(e) for e in lu.channel_ends),
+                      lu.utilization.tolist(), lu.reserved.tolist()))
+    out = {f: getattr(s, f) for f in SUMMARY_FIELDS}
+    out["link_digest"] = hashlib.sha256(
+        repr(rows).encode()).hexdigest()[:16]
+    return out
+
+
+GOLDEN = {'packet-updown-sp': {'offered_flits_ns_switch': 0.02,
+                      'accepted_flits_ns_switch': 0.019733333333333332,
+                      'messages_delivered': 37,
+                      'messages_generated': 37,
+                      'avg_latency_ns': 4066.886864864865,
+                      'avg_network_latency_ns': 4066.886864864865,
+                      'max_latency_ns': 6237.57,
+                      'avg_itbs_per_message': 0.0,
+                      'itb_overflow_count': 0,
+                      'itb_peak_bytes': 0,
+                      'backlog_growth': 0,
+                      'link_digest': '3f72100c8284b1d7'},
+ 'packet-itb-sp': {'offered_flits_ns_switch': 0.02,
+                   'accepted_flits_ns_switch': 0.019733333333333332,
+                   'messages_delivered': 37,
+                   'messages_generated': 37,
+                   'avg_latency_ns': 4280.902594594595,
+                   'avg_network_latency_ns': 4280.902594594595,
+                   'max_latency_ns': 7619.037,
+                   'avg_itbs_per_message': 0.2702702702702703,
+                   'itb_overflow_count': 0,
+                   'itb_peak_bytes': 519,
+                   'backlog_growth': 0,
+                   'link_digest': '3da43e875791785e'},
+ 'packet-itb-rr': {'offered_flits_ns_switch': 0.02,
+                   'accepted_flits_ns_switch': 0.019733333333333332,
+                   'messages_delivered': 37,
+                   'messages_generated': 37,
+                   'avg_latency_ns': 4289.169,
+                   'avg_network_latency_ns': 4289.169,
+                   'max_latency_ns': 8804.947,
+                   'avg_itbs_per_message': 0.2702702702702703,
+                   'itb_overflow_count': 0,
+                   'itb_peak_bytes': 519,
+                   'backlog_growth': 0,
+                   'link_digest': 'b5f2f7c4d299f601'},
+ 'flit-updown-sp': {'offered_flits_ns_switch': 0.02,
+                    'accepted_flits_ns_switch': 0.019733333333333332,
+                    'messages_delivered': 37,
+                    'messages_generated': 37,
+                    'avg_latency_ns': 3986.0771621621625,
+                    'avg_network_latency_ns': 3986.0771621621625,
+                    'max_latency_ns': 5520.42,
+                    'avg_itbs_per_message': 0.0,
+                    'itb_overflow_count': 0,
+                    'itb_peak_bytes': 0,
+                    'backlog_growth': 0,
+                    'link_digest': 'a7d9634bbba6ec98'},
+ 'flit-itb-sp': {'offered_flits_ns_switch': 0.02,
+                 'accepted_flits_ns_switch': 0.019733333333333332,
+                 'messages_delivered': 37,
+                 'messages_generated': 37,
+                 'avg_latency_ns': 4210.472405405405,
+                 'avg_network_latency_ns': 4210.472405405405,
+                 'max_latency_ns': 6874.598,
+                 'avg_itbs_per_message': 0.2702702702702703,
+                 'itb_overflow_count': 0,
+                 'itb_peak_bytes': 519,
+                 'backlog_growth': 0,
+                 'link_digest': '9ceb97e4b7e8d3a9'},
+ 'flit-itb-rr': {'offered_flits_ns_switch': 0.02,
+                 'accepted_flits_ns_switch': 0.019733333333333332,
+                 'messages_delivered': 37,
+                 'messages_generated': 37,
+                 'avg_latency_ns': 4253.440621621622,
+                 'avg_network_latency_ns': 4253.440621621622,
+                 'max_latency_ns': 8232.997,
+                 'avg_itbs_per_message': 0.2702702702702703,
+                 'itb_overflow_count': 0,
+                 'itb_peak_bytes': 519,
+                 'backlog_growth': 0,
+                 'link_digest': '552d53e9cb516c48'}}
+
+
+@pytest.mark.parametrize("label,engine,routing,policy", MATRIX,
+                         ids=[m[0] for m in MATRIX])
+def test_golden(label, engine, routing, policy):
+    assert GOLDEN, "golden values missing; regenerate with --regen"
+    got = fingerprint(engine, routing, policy)
+    assert got == GOLDEN[label]
+
+
+def _regen() -> None:
+    import pprint
+    values = {label: fingerprint(engine, routing, policy)
+              for label, engine, routing, policy in MATRIX}
+    print("GOLDEN = \\")
+    pprint.pprint(values, sort_dicts=False)
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -66,10 +66,34 @@ class TestLatencyCollector:
         for i in range(1, 11):
             c.on_delivered(mk_packet(0, 0, i * 1_000, pid=i))
         assert c.percentile_ns(0.0) == 1.0
-        assert c.percentile_ns(0.5) == 6.0
+        # nearest-rank: rank ceil(0.5 * 10) = 5 -> the 5th sample, not
+        # the 6th (the old int(q * n) indexing over-indexed by one)
+        assert c.percentile_ns(0.5) == 5.0
         assert c.percentile_ns(1.0) == 10.0
         with pytest.raises(ValueError):
             c.percentile_ns(1.5)
+
+    def test_percentile_nearest_rank_exact_boundaries(self):
+        """Exact-boundary quantiles follow the nearest-rank definition
+        (rank = ceil(q * n), 1-based)."""
+        c = LatencyCollector(keep_samples=True)
+        for i in range(1, 5):  # samples 1, 2, 3, 4 ns
+            c.on_delivered(mk_packet(0, 0, i * 1_000, pid=i))
+        assert c.percentile_ns(0.25) == 1.0   # ceil(1) -> 1st
+        assert c.percentile_ns(0.5) == 2.0    # ceil(2) -> 2nd
+        assert c.percentile_ns(0.75) == 3.0   # ceil(3) -> 3rd
+        assert c.percentile_ns(1.0) == 4.0    # ceil(4) -> 4th (no clamp)
+        assert c.percentile_ns(0.51) == 3.0   # ceil(2.04) -> 3rd
+
+    def test_percentile_single_sample(self):
+        c = LatencyCollector(keep_samples=True)
+        c.on_delivered(mk_packet(0, 0, 7_000))
+        for q in (0.0, 0.5, 1.0):
+            assert c.percentile_ns(q) == 7.0
+
+    def test_percentile_empty_returns_none(self):
+        c = LatencyCollector(keep_samples=True)
+        assert c.percentile_ns(0.5) is None
 
 
 def synthetic_run_at(capacity, window_messages=1000):
@@ -104,6 +128,26 @@ class TestSaturationSearch:
                                  refine_steps=5)
         width = lambda r: r.first_saturated_rate - r.last_stable_rate
         assert width(hi_res) < width(lo_res)
+
+    def test_start_rate_already_saturated_ramps_down(self):
+        """A saturating start_rate must not report last_stable_rate=0:
+        the search ramps down geometrically until a stable rate is
+        measured, then bisects the (stable, saturated) bracket."""
+        res = find_saturation(synthetic_run_at(0.002), start_rate=0.005)
+        assert res.last_stable_rate > 0.0
+        assert any(not r.saturated for r in res.runs)
+        assert res.last_stable_rate < res.first_saturated_rate
+        assert res.first_saturated_rate <= 0.005
+        assert res.throughput == pytest.approx(0.002, rel=0.05)
+
+    def test_deeply_saturated_start_gives_up_after_down_steps(self):
+        """When even deep down-ramp probes saturate, the search stops
+        after max_down_steps instead of looping forever."""
+        res = find_saturation(synthetic_run_at(1e-9), start_rate=1.0,
+                              max_down_steps=4)
+        assert res.last_stable_rate == 0.0
+        # 1 up probe + 4 down probes + refine bisections
+        assert len(res.runs) >= 5
 
     def test_never_saturates_within_bounds(self):
         res = find_saturation(synthetic_run_at(1e9), 0.005, max_rate=0.1)

@@ -91,6 +91,58 @@ class TestChannel:
         assert Channel(1, DEL, 0, 0).kind == DEL
         assert Channel(2, NET, 0, 1, link_id=3).link_id == 3
 
+    def test_boundary_straddling_hold_clamped_to_reset(self):
+        """A packet granted before the stats reset but released inside
+        the window only contributes its in-window hold, so
+        ``reserved_fraction`` cannot exceed 1."""
+        ch = Channel(0, NET, 1, 2)
+        ch.record_passage(10, 0, 50_000)       # fully pre-window
+        ch.reset_stats(100_000)                # warm-up ends at t=100us
+        # granted during warm-up, released 40us into a 100us window
+        ch.record_passage(515, granted_ps=20_000, released_ps=140_000)
+        assert ch.reserved_ps == 40_000        # not 120_000
+        assert ch.reserved_fraction(100_000) <= 1.0
+        # a fully in-window passage is unaffected by the clamp
+        ch.record_passage(515, granted_ps=150_000, released_ps=160_000)
+        assert ch.reserved_ps == 50_000
+
+    def test_boundary_straddling_flits_clamped_with_cycle(self):
+        """With the flit cycle supplied (as the packet engine does),
+        flits that crossed before the reset are excluded too, keeping
+        utilisation <= reserved per channel."""
+        ch = Channel(0, NET, 1, 2)
+        ch.reset_stats(100_000)
+        ch.record_passage(515, granted_ps=20_000, released_ps=140_000,
+                          flit_cycle_ps=6_250)
+        # flits stream at link rate up to the release: only the last
+        # 40_000 ps of the passage are in-window -> 40_000 // 6250 = 6
+        assert ch.transfer_flits == 6
+        assert ch.reserved_ps == 40_000
+        assert (ch.transfer_flits * 6_250) <= ch.reserved_ps
+        # non-straddling passages keep their full flit count
+        ch.record_passage(515, granted_ps=150_000, released_ps=160_000,
+                          flit_cycle_ps=6_250)
+        assert ch.transfer_flits == 6 + 515
+
+    def test_boundary_straddling_run_reserved_fraction_bounded(self):
+        """End to end on both engines: with a warm-up short enough that
+        long holds straddle the boundary, no channel reports more
+        reserved time than the measurement window."""
+        from repro.config import SimConfig
+        from repro.experiments.runner import run_simulation
+        from repro.units import ns
+        for engine in ("packet", "flit"):
+            cfg = SimConfig(
+                engine=engine, topology="torus",
+                topology_kwargs={"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 2},
+                routing="itb", policy="rr", traffic="uniform",
+                injection_rate=0.12,          # saturated: very long holds
+                warmup_ps=ns(20_000), measure_ps=ns(8_000))
+            s = run_simulation(cfg, collect_links=True)
+            assert s.link_utilization is not None
+            assert float(s.link_utilization.reserved.max()) <= 1.0
+
 
 class TestNic:
     def make(self):
