@@ -34,9 +34,10 @@ from repro.experiments.profiles import PAPER
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import (render_figure, render_hotspot_table,
                                       render_link_map)
-from repro.experiments.runner import run_simulation
+from repro.experiments.runner import clear_caches, run_simulation
 from repro.orchestrator import (DEFAULT_CACHE_DIR, Executor,
                                 ProgressReporter, ResultStore)
+from repro.perf import PerfRecorder
 from repro.sim import available_engines
 from repro.units import ns
 
@@ -50,6 +51,74 @@ ENGINE_PROFILE_CFG = dict(
     routing="itb", policy="rr", traffic="uniform",
     injection_rate=0.02,
     warmup_ps=ns(20_000), measure_ps=ns(120_000))
+
+#: sim-core benchmark matrix (BENCH_sim_core.json): one paper-sized
+#: packet-engine point plus a validation-size point per engine, so the
+#: hot-loop throughput of both engines is tracked over time.
+BENCH_CORE_CONFIGS = [
+    ("packet-paper", dict(
+        engine="packet", topology="torus",
+        topology_kwargs={"rows": 8, "cols": 8},
+        routing="itb", policy="rr", traffic="uniform",
+        injection_rate=0.04, seed=1,
+        warmup_ps=ns(50_000), measure_ps=ns(300_000))),
+    ("packet-val", dict(engine="packet", **ENGINE_PROFILE_CFG)),
+    ("flit-val", dict(engine="flit", **ENGINE_PROFILE_CFG)),
+]
+
+
+def bench_sim_core(repeats: int = 3) -> dict:
+    """Time the benchmark matrix; best-of-``repeats`` per point.
+
+    The first repeat of each point runs with cleared memo caches, so its
+    ``cold_wall_s`` includes graph + routing-table construction -- the
+    cost every fresh worker process pays.  ``events_per_s`` comes from
+    the best repeat's event-loop wall clock, the steady-state figure the
+    CI regression gate watches.
+    """
+    points = []
+    for name, kw in BENCH_CORE_CONFIGS:
+        cfg = SimConfig(**kw)
+        clear_caches()
+        reports = []
+        for _ in range(repeats):
+            rec = PerfRecorder()
+            run_simulation(cfg, perf=rec)
+            reports.append(rec.report)
+        cold = reports[0]
+        best = min(reports, key=lambda r: r.sim_wall_s)
+        points.append({
+            "name": name,
+            "engine": cfg.engine,
+            "cold_wall_s": round(cold.wall_s, 4),
+            "best_loop_wall_s": round(best.sim_wall_s, 4),
+            "events": best.events,
+            "events_per_s": round(best.events_per_s, 1),
+            "messages_delivered": best.messages_delivered,
+            "messages_per_s": round(best.messages_per_s, 1),
+        })
+    return {"schema": 1, "repeats": repeats, "points": points}
+
+
+def render_bench_core(data: dict) -> str:
+    lines = [f"sim-core benchmark (best of {data['repeats']}, cold run "
+             "includes table build):",
+             f"  {'point':14s} {'engine':8s} {'cold [s]':>9s} "
+             f"{'loop [s]':>9s} {'events':>8s} {'events/s':>10s} "
+             f"{'msgs/s':>8s}"]
+    for p in data["points"]:
+        lines.append(f"  {p['name']:14s} {p['engine']:8s} "
+                     f"{p['cold_wall_s']:9.3f} {p['best_loop_wall_s']:9.3f} "
+                     f"{p['events']:8d} {p['events_per_s']:10,.0f} "
+                     f"{p['messages_per_s']:8,.0f}")
+    return "\n".join(lines)
+
+
+def write_bench_core(data: dict, path: str) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
 
 
 def profile_engines(engines) -> list:
@@ -101,11 +170,29 @@ def parse_args() -> argparse.Namespace:
                         "profile (repeatable; default: all registered)")
     p.add_argument("--no-engine-profile", action="store_true",
                    help="skip the engine wall-clock profile")
+    p.add_argument("--bench-core-out", default="results/BENCH_sim_core.json",
+                   metavar="FILE",
+                   help="where to write the sim-core benchmark JSON")
+    p.add_argument("--bench-core-repeats", type=int, default=3,
+                   help="repeats per sim-core benchmark point (best-of)")
+    p.add_argument("--no-bench-core", action="store_true",
+                   help="skip the sim-core benchmark")
+    p.add_argument("--bench-core-only", action="store_true",
+                   help="run only the sim-core benchmark and exit "
+                        "(the CI smoke path)")
     return p.parse_args()
 
 
 def main() -> None:
     args = parse_args()
+    if args.bench_core_only:
+        print(f"[{time.strftime('%H:%M:%S')}] sim-core benchmark "
+              f"(best of {args.bench_core_repeats}) ...", flush=True)
+        data = bench_sim_core(args.bench_core_repeats)
+        write_bench_core(data, args.bench_core_out)
+        print(render_bench_core(data))
+        print(f"wrote {args.bench_core_out}")
+        return
     wanted = args.exp_ids or list(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
@@ -122,6 +209,17 @@ def main() -> None:
     summary: dict = {}
 
     with open(txt_path, "w") as txt:
+        if not args.no_bench_core:
+            print(f"[{time.strftime('%H:%M:%S')}] sim-core benchmark "
+                  f"(best of {args.bench_core_repeats}) ...", flush=True)
+            data = bench_sim_core(args.bench_core_repeats)
+            write_bench_core(data, args.bench_core_out)
+            txt.write(render_bench_core(data) + "\n\n")
+            txt.flush()
+            summary["sim_core_bench"] = data
+            with open(json_path, "w") as jf:
+                json.dump(summary, jf, indent=2)
+
         if not args.no_engine_profile:
             engines = args.engines or list(available_engines())
             print(f"[{time.strftime('%H:%M:%S')}] engine wall-clock "

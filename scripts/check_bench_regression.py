@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Gate on sim-core benchmark regressions.
+
+Compares a freshly generated ``BENCH_sim_core.json`` (see
+``benchmarks/run_paper_profile.py --bench-core-only``) against the
+committed baseline and exits non-zero when any point's ``events_per_s``
+falls more than ``--tolerance`` (default 30 %) below it.
+
+The gate is deliberately loose: events/sec is machine-dependent and CI
+runners are noisy, so only a large, consistent drop -- the kind a
+hot-path regression produces -- trips it.  Refresh the committed
+baseline (``benchmarks/BENCH_sim_core.json``) whenever the benchmark
+matrix or the CI hardware generation changes.
+
+Usage:  python scripts/check_bench_regression.py CURRENT BASELINE
+            [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_points(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    return {p["name"]: p for p in data["points"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly generated BENCH_sim_core.json")
+    ap.add_argument("baseline", help="committed baseline to compare against")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional events/sec drop (default 0.30)")
+    args = ap.parse_args()
+
+    current = load_points(args.current)
+    baseline = load_points(args.baseline)
+
+    failed = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:14s} MISSING from current run")
+            failed.append(name)
+            continue
+        floor = base["events_per_s"] * (1.0 - args.tolerance)
+        ratio = (cur["events_per_s"] / base["events_per_s"]
+                 if base["events_per_s"] else float("inf"))
+        ok = cur["events_per_s"] >= floor
+        print(f"{name:14s} {cur['events_per_s']:12,.0f} ev/s "
+              f"vs baseline {base['events_per_s']:12,.0f} "
+              f"({ratio:5.2f}x, floor {floor:12,.0f}) "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failed.append(name)
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"note: points not in baseline (ignored): {', '.join(extra)}")
+
+    if failed:
+        print(f"FAIL: events/sec regressed beyond "
+              f"{args.tolerance:.0%} on: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("sim-core benchmark within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from .experiments.profiles import Profile, BENCH, PAPER, TEST
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .metrics import (LatencyCollector, LinkUtilization, RunSummary,
                       SaturationResult, collect_link_stats, find_saturation)
+from .perf import PerfRecorder, PerfReport, profile_to
 from .routing import (RoutingTables, SourceRoute, compute_tables,
                       make_policy, route_statistics)
 from .experiments.compare import ComparisonResult, compare_configs
@@ -65,6 +66,9 @@ __all__ = [
     "SaturationResult",
     "collect_link_stats",
     "find_saturation",
+    "PerfRecorder",
+    "PerfReport",
+    "profile_to",
     "RoutingTables",
     "SourceRoute",
     "compute_tables",

@@ -159,8 +159,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .perf import PerfRecorder
     cfg = _config_from(args, args.rate)
-    summary = run_simulation(cfg, collect_links=args.links)
+    recorder = PerfRecorder() if (args.perf or args.profile) else None
+    summary = run_simulation(cfg, collect_links=args.links,
+                             perf=recorder, profile_path=args.profile)
     print(summary.oneline())
     print(f"  network latency {summary.avg_network_latency_ns:.0f} ns, "
           f"max {summary.max_latency_ns:.0f} ns, "
@@ -175,6 +178,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                             cfg.injection_rate, summary.link_utilization,
                             summary)
         print(render_link_map(res, GRIDS.get(args.topology)))
+    if recorder is not None and recorder.report is not None:
+        print(f"  perf: {recorder.report.oneline()}")
+    if args.profile:
+        print(f"  profile written to {args.profile} "
+              f"(inspect with: python -m pstats {args.profile})")
     return 0
 
 
@@ -258,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offered load, flits/ns/switch")
     p.add_argument("--links", action="store_true",
                    help="collect and print link utilisation")
+    p.add_argument("--perf", action="store_true",
+                   help="print wall-clock / events-per-second counters")
+    p.add_argument("--profile", metavar="FILE", default=None,
+                   help="dump a cProfile trace of the run to FILE")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sweep", help="latency-vs-traffic curve")

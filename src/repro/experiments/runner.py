@@ -24,6 +24,7 @@ from ..config import SimConfig
 from ..metrics.collector import LatencyCollector
 from ..metrics.linkstats import collect_link_stats
 from ..metrics.summary import RunSummary
+from ..perf import PerfRecorder, now as _now, profile_to
 from ..routing.policies import make_policy
 from ..routing.table import RoutingTables, compute_tables
 from ..sim.engine import Simulator
@@ -84,7 +85,9 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                    root: int = 0, sort_by_itbs: bool = False,
                    watchdog_ps: Optional[int] = None,
                    tables: Optional[RoutingTables] = None,
-                   graph: Optional[NetworkGraph] = None) -> RunSummary:
+                   graph: Optional[NetworkGraph] = None,
+                   perf: Optional[PerfRecorder] = None,
+                   profile_path: Optional[str] = None) -> RunSummary:
     """Execute one simulation run described by ``config``.
 
     ``collect_links`` additionally gathers the per-link utilisation
@@ -94,7 +97,24 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     ``config.routing``.  ``graph`` overrides the topology lookup with a
     pre-built network (failure studies run mutated copies that have no
     registry name); such graphs bypass the table cache.
+
+    ``perf`` (a :class:`repro.perf.PerfRecorder`) receives wall-clock
+    and events/sec figures for the run; ``profile_path`` additionally
+    dumps a :mod:`cProfile` trace of the whole call to that file.
+    Neither affects the simulation itself or its summary.
     """
+    with profile_to(profile_path):
+        return _run_simulation(config, collect_links, root, sort_by_itbs,
+                               watchdog_ps, tables, graph, perf)
+
+
+def _run_simulation(config: SimConfig, collect_links: bool,
+                    root: int, sort_by_itbs: bool,
+                    watchdog_ps: Optional[int],
+                    tables: Optional[RoutingTables],
+                    graph: Optional[NetworkGraph],
+                    perf: Optional[PerfRecorder]) -> RunSummary:
+    t_start = _now()
     config.validate()
     if graph is not None:
         g = graph
@@ -139,6 +159,7 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                              + 20 * config.params.routing_delay_ps)
     network.install_watchdog(watchdog_ps)
 
+    t_setup_done = _now()
     traffic.start()
     sim.run_until(config.warmup_ps)
     collector.reset()
@@ -147,7 +168,16 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     generated_before = network.generated
     backlog_before = network.in_flight
     sim.run_until(config.warmup_ps + config.measure_ps)
+    t_sim_done = _now()
     backlog_growth = network.in_flight - backlog_before
+
+    if perf is not None:
+        perf.record(wall_s=t_sim_done - t_start,
+                    setup_wall_s=t_setup_done - t_start,
+                    sim_wall_s=t_sim_done - t_setup_done,
+                    events=sim.events,
+                    messages_delivered=network.delivered,
+                    sim_time_ps=sim.now)
 
     links = None
     if collect_links:

@@ -20,9 +20,35 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..topology.graph import NetworkGraph
-from .minimal import enumerate_minimal_paths
+from .minimal import enumerate_minimal_path_links, minimal_dag_successors
 from .routes import RouteLeg, SourceRoute
 from .updown import UpDownOrientation
+
+
+def _segment_bounds(path: Sequence[int], lids: Sequence[int],
+                    up_end: Sequence[int]) -> List[Tuple[int, int]]:
+    """Greedy cut points of ``path`` as (start, end) index pairs.
+
+    ``lids`` are the pre-resolved link ids along the path.  The greedy
+    rule -- cut exactly where the first illegal up-traversal would
+    happen -- yields the minimum number of cuts for the given path,
+    because every segment it produces is a maximal legal prefix of the
+    remaining path.
+    """
+    bounds: List[Tuple[int, int]] = []
+    seg_start = 0
+    gone_down = False
+    for i, lid in enumerate(lids):
+        if up_end[lid] == path[i + 1]:      # up traversal
+            if gone_down:
+                # down->up transition: eject at switch path[i]
+                bounds.append((seg_start, i))
+                seg_start = i
+                gone_down = False
+        else:
+            gone_down = True
+    bounds.append((seg_start, len(path) - 1))
+    return bounds
 
 
 def split_path_at_violations(g: NetworkGraph, ud: UpDownOrientation,
@@ -31,28 +57,11 @@ def split_path_at_violations(g: NetworkGraph, ud: UpDownOrientation,
 
     Returns the list of sub-paths; consecutive sub-paths share their
     boundary switch (the in-transit switch).  A legal input path comes
-    back as a single segment.  The greedy rule -- cut exactly where the
-    first illegal up-traversal would happen -- yields the minimum number
-    of cuts for the given path, because every segment it produces is a
-    maximal legal prefix of the remaining path.
+    back as a single segment.
     """
-    segments: List[Tuple[int, ...]] = []
-    seg_start = 0
-    gone_down = False
-    for i, (a, b) in enumerate(zip(path, path[1:])):
-        lid = g.link_between(a, b)
-        if lid is None:
-            raise ValueError(f"switches {a} and {b} are not linked")
-        if ud.is_up(a, b, lid):
-            if gone_down:
-                # down->up transition: eject at switch a (= path[i])
-                segments.append(tuple(path[seg_start:i + 1]))
-                seg_start = i
-                gone_down = False
-        else:
-            gone_down = True
-    segments.append(tuple(path[seg_start:]))
-    return segments
+    lids = g.path_links(path)
+    return [tuple(path[s:e + 1])
+            for s, e in _segment_bounds(path, lids, ud.up_end)]
 
 
 class _ItbHostCycler:
@@ -78,15 +87,29 @@ class _ItbHostCycler:
         return hosts[i]
 
 
+def _route_from_path_links(ud: UpDownOrientation, path: Tuple[int, ...],
+                           lids: Tuple[int, ...],
+                           cycler: _ItbHostCycler) -> SourceRoute:
+    """Split one resolved ``(path, link_ids)`` pair into a route."""
+    bounds = _segment_bounds(path, lids, ud.up_end)
+    if len(bounds) == 1:  # already legal -- the common case
+        return SourceRoute((RouteLeg(path, lids),))
+    legs = tuple([RouteLeg(path[s:e + 1], lids[s:e]) for s, e in bounds])
+    itb_hosts = tuple([cycler.take(leg.end) for leg in legs[:-1]])
+    return SourceRoute(legs, itb_hosts)
+
+
 def route_from_path(g: NetworkGraph, ud: UpDownOrientation,
                     path: Sequence[int],
                     cycler: _ItbHostCycler) -> SourceRoute:
     """Build a :class:`SourceRoute` for one minimal path, inserting
-    in-transit hosts wherever the up*/down* rule requires."""
-    segments = split_path_at_violations(g, ud, path)
-    legs = tuple(RouteLeg.from_switch_path(g, seg) for seg in segments)
-    itb_hosts = tuple(cycler.take(leg.end) for leg in legs[:-1])
-    return SourceRoute(legs, itb_hosts)
+    in-transit hosts wherever the up*/down* rule requires.
+
+    Link ids are resolved once for the whole path; each leg is a slice
+    of the (path, links) pair, so segments never re-probe the graph.
+    """
+    path = tuple(path)
+    return _route_from_path_links(ud, path, g.path_links(path), cycler)
 
 
 def balance_first_alternatives(
@@ -113,13 +136,13 @@ def balance_first_alternatives(
         alts = routes[pair]
         if len(alts) > 1:
             def cost(route: SourceRoute) -> Tuple[int, int]:
-                return (sum(weight[lid] for lid in route.iter_links()),
+                return (sum(weight[lid] for lid in route.link_ids),
                         route.num_itbs)
             best = min(range(len(alts)), key=lambda i: cost(alts[i]))
             if best != 0:
                 reordered = (alts[best],) + alts[:best] + alts[best + 1:]
                 out[pair] = reordered
-        for lid in out[pair][0].iter_links():
+        for lid in out[pair][0].link_ids:
             weight[lid] += 1
     return out
 
@@ -143,14 +166,16 @@ def build_itb_routes(g: NetworkGraph, ud: UpDownOrientation,
     cycler = _ItbHostCycler(g)  # shared so ITB duty rotates over all NICs
     for dst in g.switches():
         dist = g.shortest_distances(dst)
+        succ = minimal_dag_successors(g, dist)
         for src in g.switches():
             if src == dst:
                 routes[(src, dst)] = (
                     SourceRoute((RouteLeg((src,), ()),)),)
                 continue
-            paths = enumerate_minimal_paths(g, src, dst, dist,
-                                            max_paths=max_routes_per_pair)
-            alts = [route_from_path(g, ud, p, cycler) for p in paths]
+            pls = enumerate_minimal_path_links(
+                g, src, dst, dist, max_paths=max_routes_per_pair, succ=succ)
+            alts = [_route_from_path_links(ud, p, l, cycler)
+                    for p, l in pls]
             if sort_by_itbs:
                 alts.sort(key=lambda r: (r.num_itbs, r.switch_path))
             routes[(src, dst)] = tuple(alts)

@@ -12,48 +12,92 @@ and stops at the alternative cap.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Optional, Tuple
 
 from ..topology.graph import NetworkGraph
 
 
-def enumerate_minimal_paths(g: NetworkGraph, src: int, dst: int,
-                            dist_to_dst: List[int],
-                            max_paths: int = 10) -> List[Tuple[int, ...]]:
-    """Up to ``max_paths`` minimal switch paths from ``src`` to ``dst``.
+def minimal_dag_successors(g: NetworkGraph,
+                           dist_to_dst: List[int],
+                           ) -> List[List[Tuple[int, int]]]:
+    """``succ[s]``: ``(neighbour, link_id)`` pairs one hop closer to the
+    destination, in ascending switch id.
 
-    ``dist_to_dst`` must be ``g.shortest_distances(dst)`` (hop counts to
-    the destination); passing it in lets callers reuse one BFS per
-    destination across all sources.
+    This is the adjacency of the shortest-path DAG toward the
+    destination of ``dist_to_dst``.  Callers enumerating paths from many
+    sources to the same destination compute it once and pass it to
+    :func:`enumerate_minimal_paths` /
+    :func:`enumerate_minimal_path_links`, which saves re-filtering the
+    full neighbour lists at every DFS step.
+    """
+    return [[(nb, lid) for nb, lid in g.sorted_neighbors(s)
+             if dist_to_dst[nb] == dist_to_dst[s] - 1]
+            for s in range(g.num_switches)]
+
+
+def enumerate_minimal_path_links(g: NetworkGraph, src: int, dst: int,
+                                 dist_to_dst: List[int],
+                                 max_paths: int = 10,
+                                 succ: Optional[List[List[Tuple[int, int]]]]
+                                 = None,
+                                 ) -> List[Tuple[Tuple[int, ...],
+                                                 Tuple[int, ...]]]:
+    """Like :func:`enumerate_minimal_paths`, but each result is the pair
+    ``(switch_path, link_ids)`` with the traversed link ids resolved
+    during the walk.
+
+    Table construction needs the link ids of every enumerated path
+    anyway; resolving them here (the DFS already has them in hand from
+    the adjacency) spares a per-path re-probe of the graph.
     """
     if src == dst:
-        return [(src,)]
+        return [((src,), ())]
     if dist_to_dst[src] < 0:
         return []
-    out: List[Tuple[int, ...]] = []
+    if succ is None:
+        succ = minimal_dag_successors(g, dist_to_dst)
+    out: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
     path = [src]
+    lids: List[int] = []
 
     def dfs(s: int) -> bool:
         if len(out) >= max_paths:
             return False
-        d = dist_to_dst[s]
-        for nb, _lid in sorted(g.neighbors(s)):
-            if dist_to_dst[nb] != d - 1:
-                continue
+        for nb, lid in succ[s]:
             if nb == dst:
-                out.append(tuple(path) + (dst,))
+                out.append((tuple(path) + (dst,), tuple(lids) + (lid,)))
                 if len(out) >= max_paths:
                     return False
                 continue
             path.append(nb)
+            lids.append(lid)
             ok = dfs(nb)
             path.pop()
+            lids.pop()
             if not ok:
                 return False
         return True
 
     dfs(src)
     return out
+
+
+def enumerate_minimal_paths(g: NetworkGraph, src: int, dst: int,
+                            dist_to_dst: List[int],
+                            max_paths: int = 10,
+                            succ: Optional[List[List[Tuple[int, int]]]]
+                            = None,
+                            ) -> List[Tuple[int, ...]]:
+    """Up to ``max_paths`` minimal switch paths from ``src`` to ``dst``.
+
+    ``dist_to_dst`` must be ``g.shortest_distances(dst)`` (hop counts to
+    the destination); passing it in lets callers reuse one BFS per
+    destination across all sources.  ``succ`` may hold the matching
+    :func:`minimal_dag_successors` result to share that precomputation
+    too; it is derived on the fly when omitted.
+    """
+    return [p for p, _lids in enumerate_minimal_path_links(
+        g, src, dst, dist_to_dst, max_paths, succ)]
 
 
 def count_minimal_paths(g: NetworkGraph, dst: int,

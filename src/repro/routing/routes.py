@@ -20,28 +20,48 @@ and so analysis code can attribute utilisation to physical cables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from ..topology.graph import NetworkGraph
 
 
-@dataclass(frozen=True)
 class RouteLeg:
     """One deadlock-free sub-path: ``switches[i] -> switches[i+1]`` over
     ``links[i]``.  A leg with a single switch and no links is valid (the
-    source and target of the leg share a switch)."""
+    source and target of the leg share a switch).
 
-    switches: Tuple[int, ...]
-    links: Tuple[int, ...]
+    Legs are value objects: treat them as immutable once built -- the
+    routing tables share them across runs, and the simulators stash
+    derived data (``_dir_hops``) on them.  They used to be frozen
+    dataclasses; plain ``__slots__`` classes construct several times
+    faster, which matters because a table build creates tens of
+    thousands of them.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.switches:
+    __slots__ = ("switches", "links", "_dir_hops")
+
+    def __init__(self, switches: Tuple[int, ...],
+                 links: Tuple[int, ...]) -> None:
+        if not switches:
             raise ValueError("a leg must contain at least one switch")
-        if len(self.links) != len(self.switches) - 1:
+        if len(links) != len(switches) - 1:
             raise ValueError(
-                f"leg with {len(self.switches)} switches needs "
-                f"{len(self.switches) - 1} links, got {len(self.links)}")
+                f"leg with {len(switches)} switches needs "
+                f"{len(switches) - 1} links, got {len(links)}")
+        self.switches = switches
+        self.links = links
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is RouteLeg:
+            return (self.switches == other.switches
+                    and self.links == other.links)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.switches, self.links))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RouteLeg(switches={self.switches!r}, links={self.links!r})"
 
     @property
     def hops(self) -> int:
@@ -59,38 +79,52 @@ class RouteLeg:
     @staticmethod
     def from_switch_path(g: NetworkGraph, path: Tuple[int, ...]) -> "RouteLeg":
         """Build a leg from a switch sequence, resolving link ids."""
-        links = []
-        for a, b in zip(path, path[1:]):
-            lid = g.link_between(a, b)
-            if lid is None:
-                raise ValueError(f"switches {a} and {b} are not linked")
-            links.append(lid)
-        return RouteLeg(tuple(path), tuple(links))
+        return RouteLeg(tuple(path), g.path_links(path))
 
 
-@dataclass(frozen=True)
 class SourceRoute:
     """A complete switch-to-switch route, possibly via in-transit hosts.
 
     ``itb_hosts[i]`` is the host where the packet is ejected between
     ``legs[i]`` and ``legs[i+1]``; it must be attached to
     ``legs[i].end == legs[i+1].start``.
+
+    Value object like :class:`RouteLeg`: treat as immutable; the
+    ``_leg_overheads`` / ``_link_ids`` slots hold lazily computed data
+    shared by every packet following the route.
     """
 
-    legs: Tuple[RouteLeg, ...]
-    itb_hosts: Tuple[int, ...] = ()
+    __slots__ = ("legs", "itb_hosts", "_leg_overheads", "_link_ids")
 
-    def __post_init__(self) -> None:
-        if not self.legs:
+    def __init__(self, legs: Tuple[RouteLeg, ...],
+                 itb_hosts: Tuple[int, ...] = ()) -> None:
+        if not legs:
             raise ValueError("a route needs at least one leg")
-        if len(self.itb_hosts) != len(self.legs) - 1:
+        if len(itb_hosts) != len(legs) - 1:
             raise ValueError(
-                f"{len(self.legs)} legs need {len(self.legs) - 1} "
-                f"in-transit hosts, got {len(self.itb_hosts)}")
-        for prev, nxt in zip(self.legs, self.legs[1:]):
+                f"{len(legs)} legs need {len(legs) - 1} "
+                f"in-transit hosts, got {len(itb_hosts)}")
+        prev = legs[0]
+        for nxt in legs[1:]:
             if prev.end != nxt.start:
                 raise ValueError(
                     f"legs do not chain: {prev.end} != {nxt.start}")
+            prev = nxt
+        self.legs = legs
+        self.itb_hosts = itb_hosts
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is SourceRoute:
+            return (self.legs == other.legs
+                    and self.itb_hosts == other.itb_hosts)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.legs, self.itb_hosts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SourceRoute(legs={self.legs!r}, "
+                f"itb_hosts={self.itb_hosts!r})")
 
     @property
     def src(self) -> int:
@@ -117,6 +151,16 @@ class SourceRoute:
         for leg in self.legs[1:]:
             path.extend(leg.switches[1:])
         return tuple(path)
+
+    @property
+    def link_ids(self) -> Tuple[int, ...]:
+        """All link ids crossed, in order (computed once, then cached)."""
+        try:
+            return self._link_ids
+        except AttributeError:
+            out = tuple(l for leg in self.legs for l in leg.links)
+            self._link_ids = out
+            return out
 
     def iter_links(self) -> Iterator[int]:
         """All link ids crossed, in order."""

@@ -175,7 +175,7 @@ def enumerate_legal_paths(g: NetworkGraph, ud: UpDownOrientation,
         if len(out) >= max_paths:
             return False
         remaining = max_len - (len(path) - 1)
-        for nb, lid in sorted(g.neighbors(s)):
+        for nb, lid in g.sorted_neighbors(s):
             if on_path[nb]:
                 continue
             nphase = UP if ud.is_up(s, nb, lid) else DOWN

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
-GrantCallback = Callable[[], None]
+GrantCallback = Callable[..., None]
 
 
 class RoundRobinArbiter:
@@ -27,7 +27,8 @@ class RoundRobinArbiter:
                  "_nwaiting", "owner")
 
     def __init__(self) -> None:
-        self._queues: Dict[Hashable, Deque[Tuple[object, GrantCallback]]] = {}
+        self._queues: Dict[
+            Hashable, Deque[Tuple[object, GrantCallback, tuple]]] = {}
         self._order: List[Hashable] = []       # keys in first-seen order
         self._key_index: Dict[Hashable, int] = {}
         self._last_key: Optional[Hashable] = None  # key of the last grantee
@@ -43,12 +44,14 @@ class RoundRobinArbiter:
         return self._nwaiting
 
     def request(self, key: Hashable, token: object,
-                grant: GrantCallback) -> bool:
+                grant: GrantCallback, *args) -> bool:
         """Request ownership for ``token`` arriving on input ``key``.
 
-        If the resource is free the grant callback fires synchronously
+        If the resource is free ``grant(*args)`` fires synchronously
         and ``True`` is returned; otherwise the request queues and the
-        callback fires on a later :meth:`release`.
+        callback fires on a later :meth:`release`.  Pass the grant
+        context through ``args`` rather than a capturing closure --
+        requests sit on the arbitration hot path.
         """
         q = self._queues.get(key)
         if q is None:
@@ -56,17 +59,17 @@ class RoundRobinArbiter:
             self._key_index[key] = len(self._order)
             self._order.append(key)
         if self.owner is None and self._nwaiting == 0:
-            self._grant(key, token, grant)
+            self._grant(key, token, grant, args)
             return True
-        q.append((token, grant))
+        q.append((token, grant, args))
         self._nwaiting += 1
         return False
 
     def _grant(self, key: Hashable, token: object,
-               grant: GrantCallback) -> None:
+               grant: GrantCallback, args: tuple) -> None:
         self.owner = token
         self._last_key = key
-        grant()
+        grant(*args)
 
     def release(self, token: object) -> None:
         """Release ownership; the next waiting input (round-robin scan
@@ -87,8 +90,8 @@ class RoundRobinArbiter:
             key = order[(start + i) % n]
             q = self._queues[key]
             if q:
-                nxt_token, nxt_grant = q.popleft()
+                nxt_token, nxt_grant, nxt_args = q.popleft()
                 self._nwaiting -= 1
-                self._grant(key, nxt_token, nxt_grant)
+                self._grant(key, nxt_token, nxt_grant, nxt_args)
                 return
         raise AssertionError("waiting count out of sync with queues")

@@ -1,8 +1,16 @@
 """Minimal discrete-event simulation engine.
 
 A binary-heap event queue over integer picosecond timestamps.  Events
-are zero-argument callables; ties are broken by insertion order, which
-makes every simulation fully deterministic for a given seed.
+are callables plus pre-bound positional arguments; ties are broken by
+insertion order, which makes every simulation fully deterministic for
+a given seed.
+
+Passing the arguments through :meth:`Simulator.at` instead of closing
+over them is the engine's hot-path contract: the network models
+schedule millions of events per run, and a ``(fn, args)`` heap entry
+costs one tuple, whereas a capturing lambda costs a code object lookup
+plus one cell per free variable.  ``at(t, fn)`` with no arguments
+still works unchanged.
 
 The engine knows nothing about networks.  It offers a *progress
 watchdog* hook: a callback invoked at a fixed interval that may raise
@@ -15,7 +23,11 @@ we detect it).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter as _perf_counter
 from typing import Callable, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class DeadlockError(RuntimeError):
@@ -25,26 +37,41 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """Event queue with integer picosecond time."""
 
-    __slots__ = ("now", "_heap", "_seq", "_watchdog", "_watchdog_interval")
+    __slots__ = ("now", "events", "wall_s", "_heap", "_seq", "_watchdog",
+                 "_watchdog_interval")
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        #: events executed so far (drives the events/sec perf counters)
+        self.events: int = 0
+        #: wall-clock seconds spent inside the run loops
+        self.wall_s: float = 0.0
+        self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._watchdog: Optional[Callable[[], None]] = None
         self._watchdog_interval: int = 0
 
-    def at(self, time_ps: int, fn: Callable[[], None]) -> None:
-        """Schedule ``fn`` at absolute time ``time_ps`` (>= now)."""
+    @property
+    def events_per_s(self) -> float:
+        """Events processed per wall-clock second of run-loop time."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def at(self, time_ps: int, fn: Callable[..., None], *args) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``time_ps`` (>= now).
+
+        Prefer passing arguments here over capturing them in a closure:
+        the heap entry then carries a plain tuple and the hot loop stays
+        allocation-free.
+        """
         if time_ps < self.now:
             raise ValueError(f"cannot schedule in the past "
                              f"({time_ps} < {self.now})")
         self._seq += 1
-        heapq.heappush(self._heap, (time_ps, self._seq, fn))
+        _heappush(self._heap, (time_ps, self._seq, fn, args))
 
-    def after(self, delay_ps: int, fn: Callable[[], None]) -> None:
-        """Schedule ``fn`` at ``now + delay_ps``."""
-        self.at(self.now + delay_ps, fn)
+    def after(self, delay_ps: int, fn: Callable[..., None], *args) -> None:
+        """Schedule ``fn(*args)`` at ``now + delay_ps``."""
+        self.at(self.now + delay_ps, fn, *args)
 
     def set_watchdog(self, interval_ps: int,
                      check: Callable[[], None]) -> None:
@@ -76,19 +103,35 @@ class Simulator:
         """Process every event with time <= ``t_end_ps``; leave
         ``now == t_end_ps`` afterwards."""
         heap = self._heap
-        while heap and heap[0][0] <= t_end_ps:
-            time_ps, _seq, fn = heapq.heappop(heap)
-            self.now = time_ps
-            fn()
+        pop = _heappop
+        done = 0
+        t0 = _perf_counter()
+        try:
+            while heap and heap[0][0] <= t_end_ps:
+                time_ps, _seq, fn, args = pop(heap)
+                self.now = time_ps
+                fn(*args)
+                done += 1
+        finally:
+            self.events += done
+            self.wall_s += _perf_counter() - t0
         self.now = max(self.now, t_end_ps)
 
     def run_until_idle(self, max_time_ps: Optional[int] = None) -> None:
         """Process events until the queue is empty (or ``max_time_ps``)."""
         heap = self._heap
-        while heap:
-            if max_time_ps is not None and heap[0][0] > max_time_ps:
-                self.now = max_time_ps
-                return
-            time_ps, _seq, fn = heapq.heappop(heap)
-            self.now = time_ps
-            fn()
+        pop = _heappop
+        done = 0
+        t0 = _perf_counter()
+        try:
+            while heap:
+                if max_time_ps is not None and heap[0][0] > max_time_ps:
+                    self.now = max_time_ps
+                    return
+                time_ps, _seq, fn, args = pop(heap)
+                self.now = time_ps
+                fn(*args)
+                done += 1
+        finally:
+            self.events += done
+            self.wall_s += _perf_counter() - t0

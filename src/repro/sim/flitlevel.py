@@ -53,28 +53,55 @@ Flit = Tuple[Packet, int, bool, bool]
 
 class _Wire:
     """Directed physical channel: data flits forward, control flits
-    backward, both delayed by the propagation time."""
+    backward, both delayed by the propagation time.
 
-    __slots__ = ("sim", "prop_ps", "rx", "tx", "flits_carried", "name")
+    The endpoint callbacks (``_rx_receive`` / ``_tx_set_paused``) are
+    bound when the endpoints are attached: per-flit sends then push a
+    plain ``(fn, args)`` event instead of materialising a closure --
+    this is the engine's hottest call site (one event per flit per
+    hop).  ``rx`` / ``tx`` are properties so that swapping an endpoint
+    (tests do this to interpose probes) rebinds the cached callback.
+    """
+
+    __slots__ = ("sim", "prop_ps", "_rx", "_tx", "flits_carried", "name",
+                 "_rx_receive", "_tx_set_paused")
 
     def __init__(self, sim: Simulator, prop_ps: int, name: str) -> None:
         self.sim = sim
         self.prop_ps = prop_ps
-        self.rx: Optional["_RxBuffer"] = None   # downstream receiver
-        self.tx: Optional["_TxPort"] = None     # upstream transmitter
+        self._rx = None   # downstream receiver
+        self._tx = None   # upstream transmitter
         self.flits_carried = 0
         self.name = name
+        self._rx_receive = None
+        self._tx_set_paused = None
+
+    @property
+    def rx(self) -> Optional["_RxBuffer"]:
+        return self._rx
+
+    @rx.setter
+    def rx(self, rx) -> None:
+        self._rx = rx
+        self._rx_receive = None if rx is None else rx.receive
+
+    @property
+    def tx(self) -> Optional["_TxPort"]:
+        return self._tx
+
+    @tx.setter
+    def tx(self, tx) -> None:
+        self._tx = tx
+        self._tx_set_paused = None if tx is None else tx.set_paused
 
     def send_flit(self, flit: Flit) -> None:
         self.flits_carried += 1
-        assert self.rx is not None
-        rx = self.rx
-        self.sim.after(self.prop_ps, lambda: rx.receive(flit))
+        sim = self.sim
+        sim.at(sim.now + self.prop_ps, self._rx_receive, flit)
 
     def send_ctrl(self, stop: bool) -> None:
-        assert self.tx is not None
-        tx = self.tx
-        self.sim.after(self.prop_ps, lambda: tx.set_paused(stop))
+        sim = self.sim
+        sim.at(sim.now + self.prop_ps, self._tx_set_paused, stop)
 
 
 class _TxPort:
@@ -86,7 +113,7 @@ class _TxPort:
     """
 
     __slots__ = ("sim", "wire", "params", "paused", "_next_free_ps",
-                 "_pump_scheduled")
+                 "_pump_scheduled", "_pump_cb")
 
     def __init__(self, sim: Simulator, wire: _Wire,
                  params: MyrinetParams) -> None:
@@ -97,6 +124,7 @@ class _TxPort:
         self.paused = False
         self._next_free_ps = 0
         self._pump_scheduled = False
+        self._pump_cb = self._pump      # bound once; wake() is hot
 
     def set_paused(self, paused: bool) -> None:
         self.paused = paused
@@ -107,7 +135,8 @@ class _TxPort:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
-        self.sim.at(max(self.sim.now, self._next_free_ps), self._pump)
+        sim = self.sim
+        sim.at(max(sim.now, self._next_free_ps), self._pump_cb)
 
     def _pump(self) -> None:
         self._pump_scheduled = False
@@ -208,14 +237,15 @@ class _OutputPort(_TxPort):
 
     def request(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.arbiter.request(buf.channel_key, pkt,
-                             lambda: self._granted(buf, pkt, leg_idx))
+                             self._granted, buf, pkt, leg_idx)
 
     def _granted(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.packet = pkt
         self.src_buffer = buf
         buf.consumer = self
         self.granted_ps = self.sim.now
-        self.net._trace("grant", pkt.pid, self.node, leg_idx)
+        if self.net._tracer is not None:
+            self.net._trace("grant", pkt.pid, self.node, leg_idx)
         # first flit pays the routing decision latency
         self._next_free_ps = max(self._next_free_ps,
                                  self.sim.now + self.params.routing_delay_ps)
@@ -313,6 +343,15 @@ class FlitLevelNetwork(NetworkModel):
         self._itb_pools: List[ItbPool] = []
         #: per (pid, leg): flits of that leg received at its ITB host
         self._itb_rx: Dict[Tuple[int, int], int] = {}
+        #: id(leg) -> (leg, {switch: output port | None for the leg's
+        #: last switch}); resolved once per route leg instead of
+        #: scanning leg.switches per arriving header (the leg reference
+        #: keeps the key's object alive -- no id() reuse)
+        self._leg_ports: Dict[int, Tuple[object,
+                                         Dict[int,
+                                              Optional[_OutputPort]]]] = {}
+        #: delivery output port per host id
+        self._dlv_ports: List[_OutputPort] = []
         #: end-of-warm-up timestamp (clamps in-progress reservations)
         self._stats_reset_ps = 0
         key = 0
@@ -336,8 +375,10 @@ class FlitLevelNetwork(NetworkModel):
             _RxBuffer(self, w_in, channel_key=key, switch=host.switch)
             key += 1
             w_out = wire(f"dlv{host.id}")
-            self._out_ports[("dlv", host.id)] = _OutputPort(
-                self, host.switch, w_out)
+            dlv = _OutputPort(self, host.switch, w_out)
+            self._out_ports[("dlv", host.id)] = dlv
+            assert len(self._dlv_ports) == host.id
+            self._dlv_ports.append(dlv)
             _RxBuffer(self, w_out, channel_key=key, nic=host.id)
             key += 1
             self._itb_pools.append(ItbPool(host.id))
@@ -378,16 +419,26 @@ class FlitLevelNetwork(NetworkModel):
 
     # -- internal event handlers -------------------------------------------
 
+    def _leg_port_map(self, leg) -> Dict[int, Optional[_OutputPort]]:
+        """switch -> next output port for ``leg``, resolved once per leg
+        (``None`` marks the last switch: delivery is per-packet)."""
+        entry = self._leg_ports.get(id(leg))
+        if entry is not None:
+            return entry[1]
+        sws = leg.switches
+        ports: Dict[int, Optional[_OutputPort]] = {
+            sw: self._out_ports[(sw, sws[i + 1])]
+            for i, sw in enumerate(sws[:-1])}
+        ports[sws[-1]] = None
+        self._leg_ports[id(leg)] = (leg, ports)
+        return ports
+
     def _header_at_switch(self, buf: _RxBuffer, pkt: Packet,
                           leg_idx: int) -> None:
         leg = pkt.route.legs[leg_idx]
-        sw = buf.switch
-        pos = leg.switches.index(sw)
-        if pos == len(leg.switches) - 1:
-            port = self._out_ports[("dlv",
-                                    self._leg_target_host(pkt, leg_idx))]
-        else:
-            port = self._out_ports[(sw, leg.switches[pos + 1])]
+        port = self._leg_port_map(leg)[buf.switch]
+        if port is None:
+            port = self._dlv_ports[self._leg_target_host(pkt, leg_idx)]
         port.request(buf, pkt, leg_idx)
 
     def _itb_received(self, pkt: Packet, leg_idx: int) -> int:
@@ -420,7 +471,6 @@ class FlitLevelNetwork(NetworkModel):
             if not fits:
                 pkt.itb_overflows += 1
                 delay += self.params.itb_overflow_penalty_ps
-            self.sim.after(delay,
-                           lambda: injector.enqueue(pkt, leg_idx + 1))
+            self.sim.after(delay, injector.enqueue, pkt, leg_idx + 1)
         else:
             injector.wake()

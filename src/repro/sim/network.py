@@ -51,13 +51,17 @@ class _LegTransit:
     """Mutable per-leg traversal state of one packet."""
 
     __slots__ = ("pkt", "leg_idx", "holds", "pool_host", "pool_bytes",
-                 "short", "tail_cross_ps")
+                 "short", "tail_cross_ps", "dirs")
 
     def __init__(self, pkt: Packet, leg_idx: int,
                  pool_host: int = -1, pool_bytes: int = 0,
                  short: bool = False) -> None:
         self.pkt = pkt
         self.leg_idx = leg_idx
+        #: pre-resolved directed-channel index per hop of the leg (see
+        #: WormholeNetwork._leg_dir_hops; the delivery channel is
+        #: per-packet and resolved at the last hop)
+        self.dirs: Tuple[int, ...] = ()
         #: channels acquired so far: (channel, grant_time_ps)
         self.holds: List[Tuple[Channel, int]] = []
         #: NIC whose in-transit pool must be credited when the
@@ -83,13 +87,18 @@ class WormholeNetwork(NetworkModel):
         self.channels: List[Channel] = []
         #: (link_id, 0 for a->b / 1 for b->a) -> NET channel
         self._net: Dict[Tuple[int, int], Channel] = {}
+        #: NET channel by directed-hop index ``link_id << 1 | dir``
+        #: (the leg hop encoding of :meth:`_leg_dir_hops`)
+        self._net_by_dir: List[Channel] = []
         self.nics: List[Nic] = []
         g = self.graph
         for link in g.links:
-            self._net[(link.id, 0)] = self._new_channel(NET, link.a, link.b,
-                                                        link.id)
-            self._net[(link.id, 1)] = self._new_channel(NET, link.b, link.a,
-                                                        link.id)
+            fwd = self._new_channel(NET, link.a, link.b, link.id)
+            rev = self._new_channel(NET, link.b, link.a, link.id)
+            self._net[(link.id, 0)] = fwd
+            self._net[(link.id, 1)] = rev
+            self._net_by_dir.append(fwd)     # index link.id << 1
+            self._net_by_dir.append(rev)     # index link.id << 1 | 1
         for host in g.hosts:
             inj = self._new_channel(INJ, host.id, host.switch)
             dlv = self._new_channel(DEL, host.switch, host.id)
@@ -105,6 +114,27 @@ class WormholeNetwork(NetworkModel):
         """The NET channel of cable ``link_id`` leaving switch ``frm``."""
         link = self.graph.links[link_id]
         return self._net[(link_id, 0 if frm == link.a else 1)]
+
+    def _leg_dir_hops(self, leg) -> Tuple[int, ...]:
+        """Directed-hop indices (``link_id << 1 | direction``) of ``leg``.
+
+        Resolved once per leg *ever*: the tuple is stashed on the leg
+        object itself, and legs are shared by every packet, network
+        instance and run that uses the same cached routing tables -- so
+        the per-hop link/direction resolution is amortised across a
+        whole sweep, not just one run.  The indices are graph-level
+        facts (independent of any network instance), which is what makes
+        cross-instance sharing sound; each network maps them onto its
+        own channels through ``_net_by_dir``.
+        """
+        try:
+            return leg._dir_hops
+        except AttributeError:
+            links = self.graph.links
+            dirs = tuple((lid << 1) | (links[lid].a != frm)
+                         for lid, frm in zip(leg.links, leg.switches))
+            leg._dir_hops = dirs
+            return dirs
 
     # -- NetworkModel contract ---------------------------------------------
 
@@ -138,20 +168,21 @@ class WormholeNetwork(NetworkModel):
         short = (pkt.wire_bytes(leg_idx)
                  <= self.params.slack_buffer_bytes)
         transit = _LegTransit(pkt, leg_idx, pool_host, pool_bytes, short)
+        transit.dirs = self._leg_dir_hops(pkt.route.legs[leg_idx])
         if leg_idx == 0:
             host = pkt.src_host
         else:
             host = pkt.route.itb_hosts[leg_idx - 1]
         inj = self.nics[host].inj
-
-        def do_request() -> None:
-            inj.arbiter.request(0, pkt,
-                                lambda: self._injection_granted(transit, inj))
-
         if t_ready <= self.sim.now:
-            do_request()
+            self._request_injection(transit, inj)
         else:
-            self.sim.at(t_ready, do_request)
+            self.sim.at(t_ready, self._request_injection, transit, inj)
+
+    def _request_injection(self, transit: _LegTransit,
+                           inj: Channel) -> None:
+        inj.arbiter.request(0, transit.pkt,
+                            self._injection_granted, transit, inj)
 
     def _injection_granted(self, transit: _LegTransit, inj: Channel) -> None:
         g = self.sim.now
@@ -159,35 +190,36 @@ class WormholeNetwork(NetworkModel):
         pkt = transit.pkt
         if transit.leg_idx == 0 and pkt.injected_ps is None:
             pkt.injected_ps = g
-        self._trace("inject" if transit.leg_idx == 0 else "reinject",
-                    pkt.pid, inj.src, transit.leg_idx)
+        if self._tracer is not None:
+            self._trace("inject" if transit.leg_idx == 0 else "reinject",
+                        pkt.pid, inj.src, transit.leg_idx)
         if transit.short:
             # whole packet leaves the NIC wire-length flit cycles later
             transit.tail_cross_ps = (g + pkt.wire_bytes(transit.leg_idx)
                                      * self.params.flit_cycle_ps)
         self.sim.at(g + self.params.link_prop_ps,
-                    lambda: self._head_at_switch(transit, 0))
+                    self._head_at_switch, transit, 0)
 
     def _head_at_switch(self, transit: _LegTransit, pos: int) -> None:
         """Packet header reaches position ``pos`` of the leg's switch path
         and requests the next output port."""
         pkt = transit.pkt
-        leg = pkt.route.legs[transit.leg_idx]
-        last = len(leg.switches) - 1
-        if pos == last:
+        dirs = transit.dirs
+        if pos == len(dirs):              # past the last NET hop
             target = self._leg_target_host(pkt, transit.leg_idx)
             out = self.nics[target].dlv
         else:
-            out = self.net_channel(leg.links[pos], leg.switches[pos])
+            out = self._net_by_dir[dirs[pos]]
         in_key = transit.holds[-1][0].cid  # demand-slotted RR per input port
         out.arbiter.request(
-            in_key, pkt, lambda: self._port_granted(transit, pos, out))
+            in_key, pkt, self._port_granted, transit, pos, out)
 
     def _port_granted(self, transit: _LegTransit, pos: int,
                       out: Channel) -> None:
         g = self.sim.now
         transit.holds.append((out, g))
-        self._trace("grant", transit.pkt.pid, out.src, transit.leg_idx)
+        if self._tracer is not None:
+            self._trace("grant", transit.pkt.pid, out.src, transit.leg_idx)
         if transit.short:
             # virtual-cut-through regime: the whole packet fits in the
             # slack buffer just vacated, so the channel *behind* it can
@@ -203,16 +235,16 @@ class WormholeNetwork(NetworkModel):
             prev_idx = len(transit.holds) - 2
             prev_ch, prev_g = transit.holds[prev_idx]
             if prev_idx == 0 and transit.pool_host >= 0:
-                self._schedule_release(prev_ch, pkt, wire, prev_g, cross,
-                                       transit.pool_host,
-                                       transit.pool_bytes)
+                pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
             else:
-                self._schedule_release(prev_ch, pkt, wire, prev_g, cross)
+                pool_host, pool_bytes = -1, 0
+            self.sim.at(cross, self._do_release, prev_ch, pkt, wire,
+                        prev_g, cross, pool_host, pool_bytes)
         t_next = g + self.params.routing_delay_ps + self.params.link_prop_ps
         if out.kind == NET:
-            self.sim.at(t_next, lambda: self._head_at_switch(transit, pos + 1))
+            self.sim.at(t_next, self._head_at_switch, transit, pos + 1)
         else:
-            self.sim.at(t_next, lambda: self._head_at_nic(transit))
+            self.sim.at(t_next, self._head_at_nic, transit)
 
     def _head_at_nic(self, transit: _LegTransit) -> None:
         """Header fully at the leg's target NIC; compute the tail wave,
@@ -233,32 +265,36 @@ class WormholeNetwork(NetworkModel):
             t_tail = transit.tail_cross_ps + prop
             ch, g = holds[-1]
             if n == 1 and transit.pool_host >= 0:
-                self._schedule_release(ch, pkt, wire, g, t_tail,
-                                       transit.pool_host,
-                                       transit.pool_bytes)
+                pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
             else:
-                self._schedule_release(ch, pkt, wire, g, t_tail)
+                pool_host, pool_bytes = -1, 0
+            sim.at(t_tail, self._do_release, ch, pkt, wire, g, t_tail,
+                   pool_host, pool_bytes)
         else:
             # wormhole regime: the worm held its whole path; the tail
             # wave sweeps the releases from source to NIC.
-            t_tail = t_head + wire * params.flit_cycle_ps
+            transfer = wire * params.flit_cycle_ps
+            t_tail = t_head + transfer
+            do_release = self._do_release
+            now = sim.now
             for j, (ch, g) in enumerate(holds):
-                rel = max(t_tail - (n - 1 - j) * prop, g + wire *
-                          params.flit_cycle_ps, sim.now)
+                rel = max(t_tail - (n - 1 - j) * prop, g + transfer, now)
                 if j == 0 and transit.pool_host >= 0:
-                    self._schedule_release(ch, pkt, wire, g, rel,
-                                           transit.pool_host,
-                                           transit.pool_bytes)
+                    pool_host, pool_bytes = (transit.pool_host,
+                                             transit.pool_bytes)
                 else:
-                    self._schedule_release(ch, pkt, wire, g, rel)
+                    pool_host, pool_bytes = -1, 0
+                sim.at(rel, do_release, ch, pkt, wire, g, rel,
+                       pool_host, pool_bytes)
 
         last_leg = transit.leg_idx == pkt.num_legs - 1
         if last_leg:
-            sim.at(t_tail, lambda: self._finish_delivery(pkt, t_tail))
+            sim.at(t_tail, self._finish_delivery, pkt, t_tail)
         else:
             host = pkt.route.itb_hosts[transit.leg_idx]
-            self._trace("eject", pkt.pid, host, transit.leg_idx,
-                        t_ps=t_head)
+            if self._tracer is not None:
+                self._trace("eject", pkt.pid, host, transit.leg_idx,
+                            t_ps=t_head)
             nic = self.nics[host]
             fits = nic.itb_admit(wire, params.itb_pool_bytes)
             t_ready = t_head + params.itb_detect_ps + params.itb_dma_setup_ps
@@ -268,13 +304,10 @@ class WormholeNetwork(NetworkModel):
             self._start_leg(pkt, transit.leg_idx + 1, t_ready,
                             pool_host=host, pool_bytes=wire)
 
-    def _schedule_release(self, ch: Channel, pkt: Packet, wire: int,
-                          granted: int, rel: int, pool_host: int = -1,
-                          pool_bytes: int = 0) -> None:
-        def release() -> None:
-            ch.record_passage(wire, granted, rel,
-                              self.params.flit_cycle_ps)
-            if pool_host >= 0:
-                self.nics[pool_host].itb_release(pool_bytes)
-            ch.arbiter.release(pkt)
-        self.sim.at(rel, release)
+    def _do_release(self, ch: Channel, pkt: Packet, wire: int,
+                    granted: int, rel: int, pool_host: int,
+                    pool_bytes: int) -> None:
+        ch.record_passage(wire, granted, rel, self.params.flit_cycle_ps)
+        if pool_host >= 0:
+            self.nics[pool_host].itb_release(pool_bytes)
+        ch.arbiter.release(pkt)

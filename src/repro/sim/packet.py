@@ -55,16 +55,25 @@ class Packet:
         At the start of leg ``k`` the header still holds the route flits
         of legs ``k..end`` and the ITB marks of the remaining boundaries;
         earlier flits were consumed by switches / stripped by in-transit
-        hosts.
+        hosts.  The per-leg header overhead depends only on the route,
+        so it is computed once and stashed on the (shared, table-cached)
+        route object; each packet just adds its payload.
         """
-        legs = self.route.legs
-        out: List[int] = []
-        for k in range(len(legs)):
-            remaining_hops = sum(leg.hops for leg in legs[k:])
-            remaining_marks = len(legs) - 1 - k
-            out.append(self.payload_bytes + params.header_type_bytes
-                       + remaining_hops + remaining_marks)
-        return tuple(out)
+        route = self.route
+        try:
+            overheads = route._leg_overheads
+        except AttributeError:
+            legs = route.legs
+            n = len(legs)
+            remaining_hops = sum(leg.hops for leg in legs)
+            out: List[int] = []
+            for k, leg in enumerate(legs):
+                out.append(remaining_hops + (n - 1 - k))
+                remaining_hops -= leg.hops
+            overheads = tuple(out)
+            route._leg_overheads = overheads
+        base = self.payload_bytes + params.header_type_bytes
+        return tuple(base + oh for oh in overheads)
 
     @property
     def num_legs(self) -> int:

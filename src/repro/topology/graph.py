@@ -19,8 +19,8 @@ hot queries -- ``neighbors(s)``, ``link_between(a, b)``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,10 @@ class NetworkGraph:
         self._hosts_at: List[List[int]] = [[] for _ in range(num_switches)]
         self._ports_used: List[int] = [0] * num_switches
         self._link_index: Dict[Tuple[int, int], int] = {}
+        #: both directed orders of every linked pair -> link id; lets
+        #: path resolution skip the min/max canonicalisation
+        self._dir_link: Dict[Tuple[int, int], int] = {}
+        self._sorted_adj: Optional[List[List[Tuple[int, int]]]] = None
         self._frozen = False
 
     # -- construction -----------------------------------------------------
@@ -120,6 +124,8 @@ class NetworkGraph:
         self._adj[a].append((b, link.id))
         self._adj[b].append((a, link.id))
         self._link_index[(lo, hi)] = link.id
+        self._dir_link[(lo, hi)] = link.id
+        self._dir_link[(hi, lo)] = link.id
         return link.id
 
     def add_host(self, switch: int) -> int:
@@ -158,6 +164,19 @@ class NetworkGraph:
         """``(neighbor_switch, link_id)`` pairs for ``switch``."""
         return self._adj[switch]
 
+    def sorted_neighbors(self, switch: int) -> Sequence[Tuple[int, int]]:
+        """Like :meth:`neighbors` but ascending by neighbour id.
+
+        Path enumerators visit neighbours in sorted order for
+        determinism; caching the sort here (computed lazily, once per
+        graph) keeps it off the per-pair enumeration path.  Insertion
+        order of :meth:`neighbors` is intentionally untouched -- tree
+        and orientation construction depend on it.
+        """
+        if self._sorted_adj is None:
+            self._sorted_adj = [sorted(adj) for adj in self._adj]
+        return self._sorted_adj[switch]
+
     def degree(self, switch: int) -> int:
         """Number of inter-switch cables at ``switch``."""
         return len(self._adj[switch])
@@ -178,7 +197,22 @@ class NetworkGraph:
 
     def link_between(self, a: int, b: int) -> Optional[int]:
         """Link id of the cable between ``a`` and ``b`` (None if absent)."""
-        return self._link_index.get((min(a, b), max(a, b)))
+        return self._dir_link.get((a, b))
+
+    def path_links(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Link ids along a switch path, one dict probe per hop.
+
+        Route construction resolves hundreds of thousands of hops when
+        building the per-pair tables, so this avoids a Python-level
+        method call (and pair canonicalisation) per hop.
+        """
+        get = self._dir_link.get
+        lids = tuple([get((a, b), -1) for a, b in zip(path, path[1:])])
+        if -1 in lids:
+            i = lids.index(-1)
+            raise ValueError(
+                f"switches {path[i]} and {path[i + 1]} are not linked")
+        return lids
 
     def switches(self) -> Iterator[int]:
         return iter(range(self.num_switches))

@@ -1,0 +1,119 @@
+"""Perf instrumentation: recorder, profiler, and the bench gate."""
+
+import json
+import pstats
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.config import SimConfig
+from repro.experiments.runner import run_simulation
+from repro.perf import PerfRecorder, PerfReport, profile_to
+from repro.units import ns
+
+CFG = SimConfig(topology="torus",
+                topology_kwargs={"rows": 4, "cols": 4,
+                                 "hosts_per_switch": 2},
+                routing="itb", policy="rr", traffic="uniform",
+                injection_rate=0.01, seed=3,
+                warmup_ps=ns(20_000), measure_ps=ns(60_000))
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestPerfRecorder:
+    def test_run_simulation_fills_report(self):
+        rec = PerfRecorder()
+        summary = run_simulation(CFG, perf=rec)
+        r = rec.report
+        assert r is not None
+        assert r.events > 0
+        assert r.sim_time_ps == CFG.warmup_ps + CFG.measure_ps
+        assert r.messages_delivered >= summary.messages_delivered
+        assert r.wall_s >= r.sim_wall_s > 0
+        assert r.setup_wall_s >= 0
+        assert r.events_per_s > 0
+        assert r.messages_per_s > 0
+        # the oneline and dict views agree with the raw fields
+        assert str(r.events) in r.oneline().replace(",", "")
+        assert r.to_dict()["events"] == r.events
+
+    def test_perf_does_not_change_results(self):
+        plain = run_simulation(CFG)
+        with_perf = run_simulation(CFG, perf=PerfRecorder())
+        assert plain == with_perf
+
+    def test_simulator_counters(self):
+        rec = PerfRecorder()
+        run_simulation(CFG, perf=rec)
+        # Simulator-side counters feed the report; rates only exist
+        # once some loop wall-clock has accumulated
+        assert rec.report.events_per_s > 0
+
+    def test_zero_wall_rates(self):
+        r = PerfReport(wall_s=0.0, setup_wall_s=0.0, sim_wall_s=0.0,
+                       events=0, messages_delivered=0, sim_time_ps=0)
+        assert r.events_per_s == 0.0
+        assert r.messages_per_s == 0.0
+
+
+class TestProfileTo:
+    def test_dumps_loadable_stats(self, tmp_path):
+        out = tmp_path / "prof.out"
+        run_simulation(CFG, profile_path=str(out))
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_none_is_noop(self):
+        with profile_to(None):
+            pass
+        with profile_to(""):
+            pass
+
+
+class TestBenchRegressionGate:
+    CHECKER = REPO / "scripts" / "check_bench_regression.py"
+
+    @staticmethod
+    def _bench_file(path: Path, **rates) -> Path:
+        path.write_text(json.dumps({
+            "schema": 1, "repeats": 1,
+            "points": [{"name": name, "engine": "packet",
+                        "cold_wall_s": 1.0, "best_loop_wall_s": 0.5,
+                        "events": 1000, "events_per_s": rate,
+                        "messages_delivered": 10, "messages_per_s": 20.0}
+                       for name, rate in rates.items()]}))
+        return path
+
+    def _run(self, current: Path, baseline: Path):
+        return subprocess.run(
+            [sys.executable, str(self.CHECKER), str(current),
+             str(baseline)], capture_output=True, text=True)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0, b=200.0)
+        cur = self._bench_file(tmp_path / "cur.json", a=80.0, b=190.0)
+        res = self._run(cur, base)
+        assert res.returncode == 0, res.stdout + res.stderr
+
+    def test_large_regression_fails(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0, b=200.0)
+        cur = self._bench_file(tmp_path / "cur.json", a=60.0, b=190.0)
+        res = self._run(cur, base)
+        assert res.returncode == 1
+        assert "REGRESSED" in res.stdout
+
+    def test_missing_point_fails(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0, b=200.0)
+        cur = self._bench_file(tmp_path / "cur.json", a=100.0)
+        res = self._run(cur, base)
+        assert res.returncode == 1
+        assert "MISSING" in res.stdout
+
+    def test_committed_baseline_is_valid(self):
+        baseline = REPO / "benchmarks" / "BENCH_sim_core.json"
+        data = json.loads(baseline.read_text())
+        names = {p["name"] for p in data["points"]}
+        assert {"packet-paper", "packet-val", "flit-val"} <= names
+        assert all(p["events_per_s"] > 0 for p in data["points"])
+        assert {"packet", "flit"} == {p["engine"] for p in data["points"]}
