@@ -24,9 +24,29 @@ import sys
 
 
 def load_points(path: str) -> dict:
-    with open(path) as f:
-        data = json.load(f)
-    return {p["name"]: p for p in data["points"]}
+    """Read one benchmark JSON; every malformed input dies with a
+    one-line explanation naming the file, never a traceback."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read benchmark file {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON ({e}); regenerate it "
+                 f"with benchmarks/run_paper_profile.py --bench-core-only")
+    if not isinstance(data, dict) or "points" not in data:
+        sys.exit(f"error: {path} has no 'points' key; expected the "
+                 f"format written by run_paper_profile.py "
+                 f"--bench-core-out")
+    points = {}
+    for i, p in enumerate(data["points"]):
+        missing = [k for k in ("name", "events_per_s") if k not in p]
+        if missing:
+            sys.exit(f"error: {path}: points[{i}] is missing "
+                     f"{', '.join(missing)}; regenerate the file with "
+                     f"run_paper_profile.py --bench-core-out")
+        points[p["name"]] = p
+    return points
 
 
 def main() -> int:

@@ -53,6 +53,7 @@ from .experiments.runner import get_graph, get_tables, run_simulation
 from .experiments.sweep import sweep_rates
 from .orchestrator import (DEFAULT_CACHE_DIR, Executor, ProgressReporter,
                            ResultStore)
+from .resilience import render_resilience_table, run_resilience
 from .routing.analysis import route_statistics
 from .sim.engines import available_engines
 from .units import ns
@@ -225,8 +226,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                                   if "torus" in exp.description.lower()
                                   else None))
             print()
+    elif exp.kind == "resilience-table":
+        print(render_resilience_table(result))
     else:
         print(render_hotspot_table(result))
+    if executor is not None:
+        print(f"points: {executor.stats.oneline()}", file=sys.stderr)
+    return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    profile: Profile = PROFILES[args.profile]
+    topology_kwargs = {}
+    if args.topology in ("torus", "torus-express", "mesh"):
+        topology_kwargs = {"rows": args.rows, "cols": args.cols,
+                           "hosts_per_switch": args.hosts_per_switch}
+    ks = tuple(int(k) for k in args.ks.split(","))
+    executor = _make_executor(args)
+    report = run_resilience(args.topology, profile, seed=args.seed,
+                            ks=ks, topology_kwargs=topology_kwargs,
+                            executor=executor)
+    print(render_resilience_table(report))
     if executor is not None:
         print(f"points: {executor.stats.oneline()}", file=sys.stderr)
     return 0
@@ -286,6 +306,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also render an ASCII latency/traffic plot")
     _add_exec_options(p)
     p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("resilience",
+                       help="graceful degradation under link failures")
+    p.add_argument("--topology", default="torus",
+                   choices=["torus", "torus-express", "cplant",
+                            "irregular", "mesh"])
+    p.add_argument("--rows", type=int, default=4,
+                   help="grid rows (scaled down by default: the "
+                        "study runs 8 saturation searches)")
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--ks", default="1,2,4",
+                   help="comma-separated link-failure counts")
+    p.add_argument("--seed", type=int, default=1,
+                   help="failure sets and traffic are functions of "
+                        "the seed: repeat invocations are identical")
+    p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    _add_exec_options(p)
+    p.set_defaults(fn=cmd_resilience)
 
     p = sub.add_parser("list", help="list paper artefacts")
     p.set_defaults(fn=cmd_list)

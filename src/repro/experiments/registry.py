@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from . import figures, tables
+from ..resilience import campaign as resilience_campaign
 from .profiles import Profile
 
 
@@ -19,7 +20,7 @@ class Experiment:
     """One reproducible paper artefact."""
 
     exp_id: str
-    kind: str  # "latency-panel" | "link-map" | "hotspot-table"
+    kind: str  # "latency-panel" | "link-map" | "hotspot-table" | "resilience-table"
     description: str
     fn: Callable[[Profile], Any]
 
@@ -60,6 +61,9 @@ _register("table2", "hotspot-table",
           "Hotspot throughput, express torus", tables.table2)
 _register("table3", "hotspot-table",
           "Hotspot throughput, CPLANT", tables.table3)
+_register("resilience", "resilience-table",
+          "Graceful degradation under link failures, 4x4 torus",
+          resilience_campaign.torus_resilience)
 
 
 def run_experiment(exp_id: str, profile: Profile,

@@ -29,6 +29,7 @@ from ..routing.policies import make_policy
 from ..routing.table import RoutingTables, compute_tables
 from ..sim.engine import Simulator
 from ..sim.engines import make_network
+from ..sim.faults import FaultPlan
 from ..topology import build as build_topology
 from ..topology.graph import NetworkGraph
 from ..topology.validate import check_topology
@@ -87,7 +88,8 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                    tables: Optional[RoutingTables] = None,
                    graph: Optional[NetworkGraph] = None,
                    perf: Optional[PerfRecorder] = None,
-                   profile_path: Optional[str] = None) -> RunSummary:
+                   profile_path: Optional[str] = None,
+                   fault_plan: Optional[Any] = None) -> RunSummary:
     """Execute one simulation run described by ``config``.
 
     ``collect_links`` additionally gathers the per-link utilisation
@@ -98,6 +100,11 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     pre-built network (failure studies run mutated copies that have no
     registry name); such graphs bypass the table cache.
 
+    ``fault_plan`` (a :class:`repro.sim.FaultPlan` or its ``to_dict``
+    form) schedules mid-run link deaths; requires an engine declaring
+    ``CAP_DYNAMIC_FAULTS``.  Dropped messages appear in
+    ``messages_dropped`` and never count as delivered.
+
     ``perf`` (a :class:`repro.perf.PerfRecorder`) receives wall-clock
     and events/sec figures for the run; ``profile_path`` additionally
     dumps a :mod:`cProfile` trace of the whole call to that file.
@@ -105,7 +112,8 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     """
     with profile_to(profile_path):
         return _run_simulation(config, collect_links, root, sort_by_itbs,
-                               watchdog_ps, tables, graph, perf)
+                               watchdog_ps, tables, graph, perf,
+                               fault_plan)
 
 
 def _run_simulation(config: SimConfig, collect_links: bool,
@@ -113,7 +121,8 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                     watchdog_ps: Optional[int],
                     tables: Optional[RoutingTables],
                     graph: Optional[NetworkGraph],
-                    perf: Optional[PerfRecorder]) -> RunSummary:
+                    perf: Optional[PerfRecorder],
+                    fault_plan: Optional[Any] = None) -> RunSummary:
     t_start = _now()
     config.validate()
     if graph is not None:
@@ -159,6 +168,11 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                              + 20 * config.params.routing_delay_ps)
     network.install_watchdog(watchdog_ps)
 
+    if fault_plan is not None:
+        if isinstance(fault_plan, Mapping):
+            fault_plan = FaultPlan.from_dict(fault_plan)
+        network.install_fault_plan(fault_plan)
+
     t_setup_done = _now()
     traffic.start()
     sim.run_until(config.warmup_ps)
@@ -166,6 +180,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     network.reset_stats()
     delivered_before = network.delivered
     generated_before = network.generated
+    dropped_before = network.dropped
     backlog_before = network.in_flight
     sim.run_until(config.warmup_ps + config.measure_ps)
     t_sim_done = _now()
@@ -191,6 +206,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
             config.measure_ps, g.num_switches),
         messages_delivered=network.delivered - delivered_before,
         messages_generated=network.generated - generated_before,
+        messages_dropped=network.dropped - dropped_before,
         avg_latency_ns=collector.avg_latency_ns(),
         avg_network_latency_ns=collector.avg_network_latency_ns(),
         max_latency_ns=(collector.max_latency_ps / 1_000

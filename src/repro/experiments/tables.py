@@ -113,6 +113,7 @@ def saturation_cell_task(payload: dict) -> dict:
     return {"throughput": sat.throughput,
             "last_stable_rate": sat.last_stable_rate,
             "first_saturated_rate": sat.first_saturated_rate,
+            "converged": sat.converged,
             "runs": len(sat.runs)}
 
 

@@ -35,12 +35,19 @@ class SaturationResult:
     #: highest accepted traffic observed (flits/ns/switch) -- the
     #: paper's "throughput"
     throughput: float
-    #: highest offered rate that was still not saturated
+    #: highest offered rate that was still not saturated; ``nan`` when
+    #: every probe saturated (no stable rate was ever measured)
     last_stable_rate: float
-    #: lowest offered rate that saturated
+    #: lowest offered rate that saturated; ``inf`` when none did
     first_saturated_rate: float
     #: every run performed, in execution order
     runs: List[RunSummary]
+    #: True when the search bracketed the knee between a *measured*
+    #: stable rate and a measured saturated rate and bisected it; False
+    #: when the ramp ran off either end (never saturated within
+    #: ``max_rate``, or the downward ramp exhausted ``max_down_steps``
+    #: with every probe saturated)
+    converged: bool = True
 
 
 def find_saturation(run_at: RunAt, start_rate: float,
@@ -55,7 +62,10 @@ def find_saturation(run_at: RunAt, start_rate: float,
     When ``start_rate`` itself saturates the search ramps *down*
     geometrically (at most ``max_down_steps`` times) until a stable
     rate is found, so ``last_stable_rate`` is a measured operating
-    point rather than the never-probed 0.0.
+    point rather than the never-probed 0.0.  When even the downward
+    ramp never finds one, the result carries ``converged=False`` and
+    ``last_stable_rate=nan`` -- every number reported is something that
+    was actually measured.
     """
     if start_rate <= 0:
         raise ValueError("start_rate must be positive")
@@ -81,7 +91,7 @@ def find_saturation(run_at: RunAt, start_rate: float,
             if rate > max_rate:
                 # never saturated within bounds: report what we saw
                 return SaturationResult(_knee(runs), lo, float("inf"),
-                                        runs)
+                                        runs, converged=False)
 
     if lo == 0.0:
         # start_rate saturated on the first probe: no rate below it was
@@ -96,6 +106,13 @@ def find_saturation(run_at: RunAt, start_rate: float,
             else:
                 lo = rate
                 break
+        if lo == 0.0:
+            # the downward ramp exhausted max_down_steps with every
+            # probe saturated: nothing stable was ever observed, so
+            # there is no bracket to bisect.  Report that explicitly
+            # instead of anchoring the bisection on the unmeasured 0.0.
+            return SaturationResult(_knee(runs), float("nan"), hi,
+                                    runs, converged=False)
 
     for _ in range(refine_steps):
         mid = (lo + hi) / 2

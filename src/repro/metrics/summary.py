@@ -36,6 +36,10 @@ class RunSummary:
     #: in-flight + source-queued messages gained over the measurement
     #: window (past saturation this grows linearly with time)
     backlog_growth: int = 0
+    #: messages lost to dynamic link faults during the measurement
+    #: window (dropped in flight, or refused at the source because no
+    #: surviving route existed); zero for every fault-free run
+    messages_dropped: int = 0
 
     @property
     def saturated(self) -> bool:
@@ -87,6 +91,7 @@ class RunSummary:
                                  if self.link_utilization is not None
                                  else None),
             "backlog_growth": self.backlog_growth,
+            "messages_dropped": self.messages_dropped,
         }
 
     @classmethod

@@ -1,0 +1,31 @@
+"""Fault-injection resilience studies.
+
+The paper motivates source routing with reconfiguration cost: when the
+topology changes, only the NICs' route tables need recomputing.  This
+package quantifies the other side of that argument -- how gracefully
+the schemes degrade while running on a broken fabric:
+
+* :mod:`sampling` draws deterministic link/switch failure sets from a
+  seed, keeping the switch graph connected;
+* :mod:`campaign` rebuilds routing (spanning tree, up*/down*
+  orientation, routes, ITB tables) for every failure configuration via
+  the ``"mutated"`` topology builder, drives per-configuration
+  saturation searches through the orchestrator, and reduces them to
+  graceful-degradation metrics against the healthy baseline;
+* :mod:`report` renders the degradation table.
+
+Dynamic mid-run faults (a cable dying under live traffic) live in
+:mod:`repro.sim.faults`; this package covers the steady-state question
+of what performance remains after routing is recomputed.
+"""
+
+from .campaign import (RESILIENCE_TASK_FN, ResilienceCell,
+                       ResilienceReport, resilience_cell_task,
+                       run_resilience)
+from .report import render_resilience_table
+from .sampling import sample_failed_links, sample_failed_switch
+
+__all__ = ["ResilienceCell", "ResilienceReport", "RESILIENCE_TASK_FN",
+           "resilience_cell_task", "run_resilience",
+           "render_resilience_table", "sample_failed_links",
+           "sample_failed_switch"]

@@ -25,10 +25,11 @@ provides the shared event queue.
 
 from __future__ import annotations
 
-from .base import (ALL_CAPABILITIES, CAP_ITB_POOL, CAP_LINK_STATS,
-                   CAP_TRACE, ItbStats, LinkChannelStats, NetworkModel,
-                   UnsupportedCapability)
+from .base import (ALL_CAPABILITIES, CAP_DYNAMIC_FAULTS, CAP_ITB_POOL,
+                   CAP_LINK_STATS, CAP_TRACE, ItbStats, LinkChannelStats,
+                   NetworkModel, UnsupportedCapability)
 from .engine import Simulator, DeadlockError
+from .faults import FaultPlan, LinkFault
 from .engines import (available_engines, engine_capabilities, get_engine,
                       make_network, register, unregister)
 from .packet import Packet
@@ -39,7 +40,8 @@ from .trace import PacketTracer, TraceEvent, format_trace
 __all__ = ["Simulator", "DeadlockError", "Packet", "NetworkModel",
            "UnsupportedCapability", "LinkChannelStats", "ItbStats",
            "ALL_CAPABILITIES", "CAP_LINK_STATS", "CAP_ITB_POOL",
-           "CAP_TRACE", "register", "unregister", "available_engines",
+           "CAP_TRACE", "CAP_DYNAMIC_FAULTS", "FaultPlan", "LinkFault",
+           "register", "unregister", "available_engines",
            "engine_capabilities", "get_engine", "make_network",
            "WormholeNetwork", "FlitLevelNetwork", "PacketTracer",
            "TraceEvent", "format_trace"]

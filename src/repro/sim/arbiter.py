@@ -71,6 +71,35 @@ class RoundRobinArbiter:
         self._last_key = key
         grant(*args)
 
+    def cancel_waiting(self) -> List[object]:
+        """Drop every queued (ungranted) request; the current owner is
+        untouched.  Returns the cancelled tokens in queue order --
+        dynamic link faults use this to drain a dead channel's waiters
+        before dropping its owner, so the release cannot grant the dead
+        resource to a stale requester."""
+        tokens: List[object] = []
+        for key in self._order:
+            q = self._queues[key]
+            while q:
+                tokens.append(q.popleft()[0])
+        self._nwaiting = 0
+        return tokens
+
+    def cancel(self, token: object) -> int:
+        """Remove every queued request of ``token`` (the owner is not
+        affected); returns how many were removed."""
+        removed = 0
+        for q in self._queues.values():
+            if not q:
+                continue
+            kept = [e for e in q if e[0] is not token]
+            if len(kept) != len(q):
+                removed += len(q) - len(kept)
+                q.clear()
+                q.extend(kept)
+        self._nwaiting -= removed
+        return removed
+
     def release(self, token: object) -> None:
         """Release ownership; the next waiting input (round-robin scan
         from the last grantee) is granted synchronously."""

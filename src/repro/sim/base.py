@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..config import MyrinetParams
 from ..routing.policies import PathSelectionPolicy
@@ -39,6 +39,7 @@ from ..routing.routes import SourceRoute
 from ..routing.table import RoutingTables
 from ..topology.graph import NetworkGraph
 from .engine import DeadlockError, Simulator
+from .faults import FaultPlan
 from .packet import Packet
 from .trace import PacketTracer
 
@@ -51,9 +52,14 @@ CAP_LINK_STATS = "link_stats"
 CAP_ITB_POOL = "itb_pool"
 #: engine emits :class:`~repro.sim.trace.PacketTracer` events
 CAP_TRACE = "trace"
+#: engine supports mid-run link failures (:class:`~repro.sim.faults
+#: .FaultPlan`): dead channels drop the worms they strand, NICs
+#: blacklist routes crossing dead links
+CAP_DYNAMIC_FAULTS = "dynamic_faults"
 
 #: every capability a backend may declare
-ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
+ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
+                              CAP_DYNAMIC_FAULTS})
 
 
 class UnsupportedCapability(RuntimeError):
@@ -124,6 +130,17 @@ class NetworkModel(ABC):
         self.generated = 0
         self.delivered = 0
         self.delivered_since_check = 0
+        #: packets that died in flight on a failed link
+        self.dropped = 0
+        #: messages refused at the source because no surviving route
+        #: avoids the dead links (counted in ``generated`` too)
+        self.dropped_unroutable = 0
+        #: cable ids killed by the fault plan so far
+        self.dead_links: Set[int] = set()
+        #: (src_sw, dst_sw) -> surviving alternatives; rebuilt lazily
+        #: and flushed on every link death
+        self._routable_cache: Dict[Tuple[int, int],
+                                   List[SourceRoute]] = {}
         self._next_pid = 0
         self._delivery_callbacks: List[DeliveryCallback] = []
         #: optional :class:`~repro.sim.trace.PacketTracer`; engines
@@ -204,15 +221,26 @@ class NetworkModel(ABC):
         self._delivery_callbacks.append(cb)
 
     def send(self, src_host: int, dst_host: int,
-             nbytes: Optional[int] = None) -> Packet:
+             nbytes: Optional[int] = None) -> Optional[Packet]:
         """Hand a message to ``src_host``'s NIC at the current sim time.
 
         ``nbytes`` overrides the network's default message size (the
-        paper uses one fixed size per simulation).
+        paper uses one fixed size per simulation).  Returns ``None``
+        when dead links (see :meth:`install_fault_plan`) leave the pair
+        without a surviving route: the message is refused at the source
+        and counted in ``dropped_unroutable``.
         """
         if src_host == dst_host:
             raise ValueError("a host does not send messages to itself")
-        route, alt_index = self._select_route(src_host, dst_host)
+        selected = self._select_route(src_host, dst_host)
+        if selected is None:
+            self.generated += 1
+            self.dropped += 1
+            self.dropped_unroutable += 1
+            self._trace("unroutable", self._next_pid, src_host, 0)
+            self._next_pid += 1
+            return None
+        route, alt_index = selected
         pkt = Packet(self._next_pid, src_host, dst_host,
                      nbytes if nbytes is not None else self.message_bytes,
                      route, self.sim.now, self.params,
@@ -224,7 +252,7 @@ class NetworkModel(ABC):
 
     @property
     def in_flight(self) -> int:
-        return self.generated - self.delivered
+        return self.generated - self.delivered - self.dropped
 
     def install_watchdog(self, interval_ps: int) -> None:
         """Abort with :class:`DeadlockError` when packets are in flight
@@ -242,19 +270,78 @@ class NetworkModel(ABC):
         """End-of-warm-up reset of the engine's statistics."""
         self._reset_engine_stats()
 
+    # -- dynamic faults ----------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Schedule the plan's link failures
+        (requires :data:`CAP_DYNAMIC_FAULTS`)."""
+        self.require(CAP_DYNAMIC_FAULTS)
+        num_links = self.graph.num_links
+        for f in plan.faults:
+            if f.link_id >= num_links:
+                raise ValueError(
+                    f"fault plan kills link {f.link_id} but the graph "
+                    f"has only {num_links} links")
+        for f in plan.faults:
+            self.sim.at(max(f.t_ps, self.sim.now), self._fail_link,
+                        f.link_id)
+
+    def _fail_link(self, link_id: int) -> None:
+        """Kill one cable *now*: blacklist it for future routing and let
+        the engine drop whatever it strands."""
+        if link_id in self.dead_links:
+            return
+        self.dead_links.add(link_id)
+        self._routable_cache.clear()
+        self._trace("link_down", -1, self.graph.links[link_id].a, 0)
+        self._kill_link(link_id)
+
+    def _kill_link(self, link_id: int) -> None:
+        """Engine hook: tear down the cable's directed channels and drop
+        stranded packets.  Engines declaring
+        :data:`CAP_DYNAMIC_FAULTS` must override."""
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_DYNAMIC_FAULTS!r} but "
+            "does not implement _kill_link()")
+
+    def _finish_drop(self, pkt: Packet, t_ps: int) -> None:
+        """Common bookkeeping for a packet dropped in flight."""
+        self.dropped += 1
+        # a drop is forward progress for the watchdog: the fabric is
+        # not deadlocked, it is shedding stranded worms
+        self.delivered_since_check += 1
+        self._trace("drop", pkt.pid, pkt.dst_host, 0, t_ps=t_ps)
+
     # -- shared internals --------------------------------------------------
 
     def _select_route(self, src_host: int,
-                      dst_host: int) -> Tuple[SourceRoute, int]:
+                      dst_host: int) -> Optional[Tuple[SourceRoute, int]]:
         """The route for the next packet of a pair and its alternative
-        index (carried on the packet for policy feedback)."""
+        index (carried on the packet for policy feedback), or ``None``
+        when every alternative crosses a dead link."""
         src_sw = self.graph.host_switch(src_host)
         dst_sw = self.graph.host_switch(dst_host)
         alts = self.tables.alternatives(src_sw, dst_sw)
-        if len(alts) == 1:
-            return alts[0], 0
-        i = self.policy.select_index(src_host, dst_host, alts)
-        return alts[i], i
+        if not self.dead_links:
+            if len(alts) == 1:
+                return alts[0], 0
+            i = self.policy.select_index(src_host, dst_host, alts)
+            return alts[i], i
+        pair = (src_sw, dst_sw)
+        live = self._routable_cache.get(pair)
+        if live is None:
+            dead = self.dead_links
+            live = [r for r in alts if not dead.intersection(r.link_ids)]
+            self._routable_cache[pair] = live
+        if not live:
+            return None
+        if len(live) == 1:
+            route = live[0]
+        else:
+            route = live[self.policy.select_index(src_host, dst_host, live)]
+        # policy feedback keys on the index among the *original* table
+        # alternatives, which stays stable across blacklist changes
+        return route, alts.index(route)
 
     def _leg_target_host(self, pkt: Packet, leg_idx: int) -> int:
         """The NIC a leg ends at: an in-transit host, or the destination."""

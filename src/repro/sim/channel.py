@@ -31,7 +31,7 @@ class Channel:
     """One directed channel plus its arbiter and statistics."""
 
     __slots__ = ("cid", "kind", "src", "dst", "link_id", "arbiter",
-                 "transfer_flits", "reserved_ps", "last_reset_ps")
+                 "transfer_flits", "reserved_ps", "last_reset_ps", "dead")
 
     def __init__(self, cid: int, kind: int, src: int, dst: int,
                  link_id: int = -1) -> None:
@@ -47,6 +47,9 @@ class Channel:
         self.transfer_flits = 0
         self.reserved_ps = 0
         self.last_reset_ps = 0
+        #: cable killed by a dynamic fault plan; headers arriving at a
+        #: dead channel drop instead of requesting it
+        self.dead = False
 
     def record_passage(self, flits: int, granted_ps: int,
                        released_ps: int, flit_cycle_ps: int = 0) -> None:

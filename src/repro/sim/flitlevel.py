@@ -40,8 +40,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..config import MyrinetParams
 from .arbiter import RoundRobinArbiter
-from .base import (CAP_ITB_POOL, CAP_LINK_STATS, CAP_TRACE, ItbStats,
-                   LinkChannelStats, NetworkModel)
+from .base import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
+                   CAP_TRACE, ItbStats, LinkChannelStats, NetworkModel)
 from .engine import Simulator
 from .engines import register
 from .nic import ItbPool
@@ -182,6 +182,9 @@ class _RxBuffer:
         self.consumer: Optional["_OutputPort"] = None
 
     def receive(self, flit: Flit) -> None:
+        dropped = self.net._dropped_pids
+        if dropped and flit[0].pid in dropped:
+            return   # stray flit of a fault-dropped packet: vanish
         if self.nic >= 0:
             self.net._nic_flit_received(self.nic, flit)
             return
@@ -213,6 +216,24 @@ class _RxBuffer:
             self.wire.send_ctrl(stop=False)
         return flit
 
+    def purge(self, pkt: Packet) -> None:
+        """Discard every buffered flit of a fault-dropped packet,
+        un-stopping the upstream sender if the drain crosses the go
+        threshold."""
+        if self.nic >= 0 or not self.queue:
+            return
+        before = len(self.queue)
+        kept = [f for f in self.queue if f[0] is not pkt]
+        removed = before - len(kept)
+        if not removed:
+            return
+        self.queue = deque(kept)
+        self.occupancy -= removed
+        if (self.stopped
+                and self.occupancy < self.params.go_threshold_bytes):
+            self.stopped = False
+            self.wire.send_ctrl(stop=False)
+
     def reset_stats(self) -> None:  # occupancy is state, nothing to reset
         pass
 
@@ -221,7 +242,7 @@ class _OutputPort(_TxPort):
     """Switch output port: RR arbitration + routing delay + pull loop."""
 
     __slots__ = ("net", "node", "arbiter", "packet", "src_buffer",
-                 "granted_ps", "reserved_ps")
+                 "granted_ps", "reserved_ps", "dead")
 
     def __init__(self, net: "FlitLevelNetwork", node: int,
                  wire: _Wire) -> None:
@@ -234,6 +255,8 @@ class _OutputPort(_TxPort):
         self.src_buffer: Optional[_RxBuffer] = None
         self.granted_ps = 0
         self.reserved_ps = 0
+        #: link died mid-run; headers drop instead of requesting
+        self.dead = False
 
     def request(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.arbiter.request(buf.channel_key, pkt,
@@ -273,6 +296,17 @@ class _OutputPort(_TxPort):
         self.src_buffer = None
         self.arbiter.release(pkt)
 
+    def force_release(self, pkt: Packet) -> None:
+        """Release mid-stream: the owner was dropped by a link fault."""
+        assert self.packet is pkt
+        self.reserved_ps += self.sim.now - max(self.granted_ps,
+                                               self.net._stats_reset_ps)
+        if self.src_buffer is not None:
+            self.src_buffer.consumer = None
+        self.packet = None
+        self.src_buffer = None
+        self.arbiter.release(pkt)
+
 
 class _NicInjector(_TxPort):
     """NIC send side: FIFO of pending sends, cut-through aware."""
@@ -288,6 +322,9 @@ class _NicInjector(_TxPort):
         self.jobs: Deque[List] = deque()
 
     def enqueue(self, pkt: Packet, leg_idx: int) -> None:
+        dropped = self.net._dropped_pids
+        if dropped and pkt.pid in dropped:
+            return   # ITB detect fired after the packet was dropped
         self.jobs.append([pkt, leg_idx, 0])
         self.wake()
 
@@ -325,7 +362,8 @@ class FlitLevelNetwork(NetworkModel):
     :class:`~repro.sim.network.WormholeNetwork` (same
     :class:`~repro.sim.base.NetworkModel` surface and capability set)."""
 
-    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
+    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
+                              CAP_DYNAMIC_FAULTS})
 
     # -- construction ----------------------------------------------------
 
@@ -333,6 +371,11 @@ class FlitLevelNetwork(NetworkModel):
         g = self.graph
         p = self.params
         sim = self.sim
+        #: pids dropped by dynamic link faults: their stray flits and
+        #: delayed ITB events are discarded on sight
+        self._dropped_pids: set = set()
+        #: link id -> the cable's two (wire, output port) directions
+        self._link_ports: Dict[int, List[Tuple[_Wire, _OutputPort]]] = {}
         self._out_ports: Dict[Tuple, _OutputPort] = {}
         self._injectors: List[_NicInjector] = []
         self._wires: List[_Wire] = []
@@ -362,11 +405,13 @@ class FlitLevelNetwork(NetworkModel):
             return w
 
         for link in g.links:
+            dirs = self._link_ports[link.id] = []
             for frm, to in ((link.a, link.b), (link.b, link.a)):
                 w = wire(f"net{link.id}:{frm}->{to}")
                 port = _OutputPort(self, frm, w)
                 self._out_ports[(frm, to)] = port
                 self._net_channels.append((w, port, frm, to, link.id))
+                dirs.append((w, port))
                 _RxBuffer(self, w, channel_key=key, switch=to)
                 key += 1
         for host in g.hosts:
@@ -439,6 +484,11 @@ class FlitLevelNetwork(NetworkModel):
         port = self._leg_port_map(leg)[buf.switch]
         if port is None:
             port = self._dlv_ports[self._leg_target_host(pkt, leg_idx)]
+        elif port.dead:
+            # the route crosses a link that died after selection: the
+            # worm is stranded at this switch and drops
+            self._drop_packet(pkt)
+            return
         port.request(buf, pkt, leg_idx)
 
     def _itb_received(self, pkt: Packet, leg_idx: int) -> int:
@@ -449,6 +499,56 @@ class FlitLevelNetwork(NetworkModel):
         drop the cut-through counter and credit the buffer pool."""
         self._itb_rx.pop((pkt.pid, leg_idx), None)
         self._itb_pools[host].itb_release(pkt.wire_bytes(leg_idx))
+
+    # -- dynamic faults ----------------------------------------------------
+
+    def _kill_link(self, link_id: int) -> None:
+        """Both directions of the cable die now.
+
+        Dead-port waiters are drained before owners are force-released,
+        so no release can grant a dead port to a stale requester.  Any
+        packet still occupying the cable (flits queued behind it,
+        owning either direction, or waiting for it) is dropped whole --
+        at flit fidelity a truncated tail means the packet is lost.
+        """
+        for w, port in self._link_ports[link_id]:
+            port.dead = True
+        for w, port in self._link_ports[link_id]:
+            for tok in port.arbiter.cancel_waiting():
+                self._drop_packet(tok)
+            if port.packet is not None:
+                self._drop_packet(port.packet)
+
+    def _drop_packet(self, pkt: Packet) -> None:
+        """Remove every trace of a stranded packet from the fabric."""
+        if pkt.pid in self._dropped_pids or pkt.delivered:
+            return
+        self._dropped_pids.add(pkt.pid)
+        # pending sends / re-injections at any NIC
+        for injector in self._injectors:
+            jobs = injector.jobs
+            if any(job[0] is pkt for job in jobs):
+                injector.jobs = deque(
+                    job for job in jobs if job[0] is not pkt)
+        # output ports: force-release where it streams, dequeue where
+        # it waits (releases wake the next waiter on live ports)
+        for port in self._out_ports.values():
+            if port.packet is pkt:
+                port.force_release(pkt)
+            elif port.arbiter.waiting():
+                port.arbiter.cancel(pkt)
+        # buffered flits in switch slack buffers (un-stops senders)
+        for w in self._wires:
+            rx = w.rx
+            if rx is not None:
+                rx.purge(pkt)
+        # in-transit bookkeeping: credit the pool for every leg still
+        # being received (admit happened with the leg's first flit)
+        for key in [k for k in self._itb_rx if k[0] == pkt.pid]:
+            del self._itb_rx[key]
+            host = pkt.route.itb_hosts[key[1]]
+            self._itb_pools[host].itb_release(pkt.wire_bytes(key[1]))
+        self._finish_drop(pkt, self.sim.now)
 
     def _nic_flit_received(self, nic: int, flit: Flit) -> None:
         pkt, leg_idx, first, last = flit

@@ -39,8 +39,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from .base import (CAP_ITB_POOL, CAP_LINK_STATS, CAP_TRACE, ItbStats,
-                   LinkChannelStats, NetworkModel)
+from .base import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
+                   CAP_TRACE, ItbStats, LinkChannelStats, NetworkModel)
 from .channel import Channel, DEL, INJ, NET
 from .engines import register
 from .nic import Nic
@@ -51,7 +51,7 @@ class _LegTransit:
     """Mutable per-leg traversal state of one packet."""
 
     __slots__ = ("pkt", "leg_idx", "holds", "pool_host", "pool_bytes",
-                 "short", "tail_cross_ps", "dirs")
+                 "short", "tail_cross_ps", "dirs", "dropped", "pending")
 
     def __init__(self, pkt: Packet, leg_idx: int,
                  pool_host: int = -1, pool_bytes: int = 0,
@@ -62,10 +62,15 @@ class _LegTransit:
         #: WormholeNetwork._leg_dir_hops; the delivery channel is
         #: per-packet and resolved at the last hop)
         self.dirs: Tuple[int, ...] = ()
-        #: channels acquired so far: (channel, grant_time_ps)
+        #: channels still held and not yet scheduled for release:
+        #: (channel, grant_time_ps).  A scheduled release removes its
+        #: entry, so a dynamic-fault drop releases exactly the
+        #: complement -- never a channel twice.
         self.holds: List[Tuple[Channel, int]] = []
         #: NIC whose in-transit pool must be credited when the
-        #: injection channel of this leg is released (-1 = none)
+        #: injection channel of this leg is released (-1 = none);
+        #: captured-and-cleared when that release is scheduled so a
+        #: drop can credit it at most once
         self.pool_host = pool_host
         self.pool_bytes = pool_bytes
         #: packet fits in one slack buffer -> virtual-cut-through regime
@@ -73,17 +78,27 @@ class _LegTransit:
         #: time the tail crossed the most recently granted channel
         #: (short regime only; drives early upstream releases)
         self.tail_cross_ps = 0
+        #: killed by a dynamic link fault (stale scheduled events bail)
+        self.dropped = False
+        #: arbiter holding this transit's one queued (ungranted)
+        #: request, if any -- cancelled on drop
+        self.pending = None
 
 
 @register("packet")
 class WormholeNetwork(NetworkModel):
     """Wires a topology + routing tables into a running simulation."""
 
-    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
+    CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
+                              CAP_DYNAMIC_FAULTS})
 
     # -- construction ------------------------------------------------------
 
     def _build(self) -> None:
+        #: pid -> transit whose header is still progressing (removed
+        #: once the header commits at its leg-target NIC); the dynamic
+        #: fault path walks this to find worms stranded on a dead link
+        self._active: Dict[int, _LegTransit] = {}
         self.channels: List[Channel] = []
         #: (link_id, 0 for a->b / 1 for b->a) -> NET channel
         self._net: Dict[Tuple[int, int], Channel] = {}
@@ -169,6 +184,7 @@ class WormholeNetwork(NetworkModel):
                  <= self.params.slack_buffer_bytes)
         transit = _LegTransit(pkt, leg_idx, pool_host, pool_bytes, short)
         transit.dirs = self._leg_dir_hops(pkt.route.legs[leg_idx])
+        self._active[pkt.pid] = transit
         if leg_idx == 0:
             host = pkt.src_host
         else:
@@ -181,11 +197,15 @@ class WormholeNetwork(NetworkModel):
 
     def _request_injection(self, transit: _LegTransit,
                            inj: Channel) -> None:
-        inj.arbiter.request(0, transit.pkt,
-                            self._injection_granted, transit, inj)
+        if transit.dropped:
+            return
+        if not inj.arbiter.request(0, transit.pkt,
+                                   self._injection_granted, transit, inj):
+            transit.pending = inj.arbiter
 
     def _injection_granted(self, transit: _LegTransit, inj: Channel) -> None:
         g = self.sim.now
+        transit.pending = None
         transit.holds.append((inj, g))
         pkt = transit.pkt
         if transit.leg_idx == 0 and pkt.injected_ps is None:
@@ -203,6 +223,8 @@ class WormholeNetwork(NetworkModel):
     def _head_at_switch(self, transit: _LegTransit, pos: int) -> None:
         """Packet header reaches position ``pos`` of the leg's switch path
         and requests the next output port."""
+        if transit.dropped:
+            return
         pkt = transit.pkt
         dirs = transit.dirs
         if pos == len(dirs):              # past the last NET hop
@@ -210,13 +232,20 @@ class WormholeNetwork(NetworkModel):
             out = self.nics[target].dlv
         else:
             out = self._net_by_dir[dirs[pos]]
+            if out.dead:
+                # header ran into a link that died after the route was
+                # selected: the worm is stranded and drops here
+                self._drop_transit(transit)
+                return
         in_key = transit.holds[-1][0].cid  # demand-slotted RR per input port
-        out.arbiter.request(
-            in_key, pkt, self._port_granted, transit, pos, out)
+        if not out.arbiter.request(
+                in_key, pkt, self._port_granted, transit, pos, out):
+            transit.pending = out.arbiter
 
     def _port_granted(self, transit: _LegTransit, pos: int,
                       out: Channel) -> None:
         g = self.sim.now
+        transit.pending = None
         transit.holds.append((out, g))
         if self._tracer is not None:
             self._trace("grant", transit.pkt.pid, out.src, transit.leg_idx)
@@ -226,20 +255,22 @@ class WormholeNetwork(NetworkModel):
             # be released as soon as the tail has drained forward --
             # the tail crosses this channel once the head may stream
             # (after routing) and the upstream buffer has emptied.
+            # Scheduling the release removes the hold (and captures the
+            # pool credit, which belongs to the first-released channel:
+            # the leg's injection channel) so a later drop releases
+            # only what is still unscheduled.
             pkt = transit.pkt
             wire = pkt.wire_bytes(transit.leg_idx)
             cross = max(transit.tail_cross_ps + self.params.link_prop_ps,
                         g + self.params.routing_delay_ps
                         + wire * self.params.flit_cycle_ps)
             transit.tail_cross_ps = cross
-            prev_idx = len(transit.holds) - 2
-            prev_ch, prev_g = transit.holds[prev_idx]
-            if prev_idx == 0 and transit.pool_host >= 0:
-                pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
-            else:
-                pool_host, pool_bytes = -1, 0
+            prev_ch, prev_g = transit.holds[0]
+            pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
+            transit.pool_host = -1
             self.sim.at(cross, self._do_release, prev_ch, pkt, wire,
                         prev_g, cross, pool_host, pool_bytes)
+            del transit.holds[0]
         t_next = g + self.params.routing_delay_ps + self.params.link_prop_ps
         if out.kind == NET:
             self.sim.at(t_next, self._head_at_switch, transit, pos + 1)
@@ -249,6 +280,8 @@ class WormholeNetwork(NetworkModel):
     def _head_at_nic(self, transit: _LegTransit) -> None:
         """Header fully at the leg's target NIC; compute the tail wave,
         schedule channel releases, and deliver or forward."""
+        if transit.dropped:
+            return
         sim = self.sim
         pkt = transit.pkt
         params = self.params
@@ -257,17 +290,20 @@ class WormholeNetwork(NetworkModel):
         holds = transit.holds
         n = len(holds)
         prop = params.link_prop_ps
+        # the cut-through transfer is committed: the tail streams out
+        # even if a link on the path dies from here on, so the transit
+        # leaves the active (droppable) set and its remaining releases
+        # are all scheduled below
+        self._active.pop(pkt.pid, None)
 
         if transit.short:
             # virtual-cut-through regime: every channel but the last was
             # already released as the tail drained forward; only the
-            # final (delivery) channel remains.
+            # final (delivery) channel remains (its grant consumed the
+            # pool credit already -- pool_host is -1 here).
             t_tail = transit.tail_cross_ps + prop
-            ch, g = holds[-1]
-            if n == 1 and transit.pool_host >= 0:
-                pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
-            else:
-                pool_host, pool_bytes = -1, 0
+            ch, g = holds[0]
+            pool_host, pool_bytes = transit.pool_host, transit.pool_bytes
             sim.at(t_tail, self._do_release, ch, pkt, wire, g, t_tail,
                    pool_host, pool_bytes)
         else:
@@ -286,6 +322,8 @@ class WormholeNetwork(NetworkModel):
                     pool_host, pool_bytes = -1, 0
                 sim.at(rel, do_release, ch, pkt, wire, g, rel,
                        pool_host, pool_bytes)
+        transit.pool_host = -1
+        transit.holds = []
 
         last_leg = transit.leg_idx == pkt.num_legs - 1
         if last_leg:
@@ -311,3 +349,54 @@ class WormholeNetwork(NetworkModel):
         if pool_host >= 0:
             self.nics[pool_host].itb_release(pool_bytes)
         ch.arbiter.release(pkt)
+
+    # -- dynamic faults ------------------------------------------------------
+
+    def _kill_link(self, link_id: int) -> None:
+        """Both directed channels of the cable die now.
+
+        Waiters queued on a dead channel are drained *before* its owner
+        is dropped, so the owner's release cannot grant the dead channel
+        to a stale requester.  An owner whose header already committed
+        at its leg-target NIC (transit no longer active) streams its
+        tail out and releases normally.
+        """
+        chans = (self._net[(link_id, 0)], self._net[(link_id, 1)])
+        for ch in chans:
+            ch.dead = True
+        active = self._active
+        for ch in chans:
+            arb = ch.arbiter
+            for tok in arb.cancel_waiting():
+                tr = active.get(tok.pid)
+                if tr is not None:
+                    tr.pending = None   # just dequeued from this arbiter
+                    self._drop_transit(tr)
+            owner = arb.owner
+            if owner is not None:
+                tr = active.get(owner.pid)
+                if tr is not None and any(h[0] is ch for h in tr.holds):
+                    self._drop_transit(tr)
+
+    def _drop_transit(self, transit: _LegTransit) -> None:
+        """Kill a stranded worm: release what it still holds, credit its
+        in-transit pool reservation, and account the drop."""
+        if transit.dropped:
+            return
+        transit.dropped = True
+        pkt = transit.pkt
+        self._active.pop(pkt.pid, None)
+        if transit.pending is not None:
+            transit.pending.cancel(pkt)
+            transit.pending = None
+        now = self.sim.now
+        for ch, g in transit.holds:
+            # reservation time is accounted; the partial worm's flits
+            # are not (they never fully crossed)
+            ch.record_passage(0, g, now)
+            ch.arbiter.release(pkt)
+        transit.holds = []
+        if transit.pool_host >= 0:
+            self.nics[transit.pool_host].itb_release(transit.pool_bytes)
+            transit.pool_host = -1
+        self._finish_drop(pkt, now)

@@ -25,6 +25,7 @@ from .express import build_torus_express
 from .cplant import build_cplant
 from .irregular import build_irregular
 from .mesh import build_mesh
+from .mutated import build_mutated
 from .validate import check_topology
 
 #: registry used by :class:`repro.config.SimConfig` (``topology=`` field)
@@ -34,6 +35,10 @@ BUILDERS: Dict[str, Callable[..., NetworkGraph]] = {
     "cplant": build_cplant,
     "irregular": build_irregular,
     "mesh": build_mesh,
+    # a base topology plus a failure set, JSON-describable so failure
+    # configs survive the orchestrator's process boundary (see
+    # repro.topology.mutated)
+    "mutated": build_mutated,
 }
 
 
@@ -63,6 +68,7 @@ __all__ = [
     "build_cplant",
     "build_irregular",
     "build_mesh",
+    "build_mutated",
     "check_topology",
     "BUILDERS",
 ]

@@ -6,22 +6,53 @@ tables" (paper Section 2).  These helpers produce the post-failure
 topology so the routing stack can recompute tables and the resilience
 benches can measure how gracefully each algorithm degrades.
 
-Graphs are immutable once frozen, so mutation means rebuilding: the
-returned graph preserves switch/host ids (hosts of a dead switch are
-dropped along with it -- host ids then shift, so failure studies that
-need stable host ids should fail links, not switches).
+Graphs are immutable once frozen, so mutation means rebuilding.  Link
+removal preserves switch/host ids (link ids are positional and
+renumber); switch removal renumbers both switch and host ids densely.
+The ``*_mapped`` variants return the old->new id maps alongside the
+graph so per-host / per-switch measurements can be aligned across a
+failure instead of silently comparing renumbered ids.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
 
 from .graph import NetworkGraph
 
 
-def without_links(g: NetworkGraph, link_ids: Iterable[int],
-                  require_connected: bool = True) -> NetworkGraph:
-    """A copy of ``g`` with the given cables removed.
+@dataclass(frozen=True)
+class LinkRemoval:
+    """Result of :func:`without_links_mapped`.
+
+    ``link_map`` maps surviving old link ids to their (renumbered) ids
+    in ``graph``; removed links are absent.  Switch and host ids are
+    preserved, so no maps are needed for them.
+    """
+
+    graph: NetworkGraph
+    link_map: Dict[int, int]
+
+
+@dataclass(frozen=True)
+class SwitchRemoval:
+    """Result of :func:`without_switch_mapped`.
+
+    ``switch_map`` / ``host_map`` map old ids to new ids; the dead
+    switch and its hosts are absent from the maps.  Any per-switch or
+    per-host comparison across the failure must go through these maps
+    -- both id spaces are renumbered densely.
+    """
+
+    graph: NetworkGraph
+    switch_map: Dict[int, int]
+    host_map: Dict[int, int]
+
+
+def without_links_mapped(g: NetworkGraph, link_ids: Iterable[int],
+                         require_connected: bool = True) -> LinkRemoval:
+    """A copy of ``g`` with the given cables removed, plus the id map.
 
     Link ids are renumbered (they are positional); switch and host ids
     are preserved.  With ``require_connected`` (default) a failure that
@@ -34,26 +65,33 @@ def without_links(g: NetworkGraph, link_ids: Iterable[int],
             raise ValueError(f"link {lid} out of range")
     out = NetworkGraph(g.num_switches, g.switch_ports,
                        name=f"{g.name}-minus-{len(dead)}-links")
+    link_map: Dict[int, int] = {}
     for link in g.links:
         if link.id not in dead:
-            out.add_link(link.a, link.b)
+            link_map[link.id] = out.add_link(link.a, link.b)
     for host in g.hosts:
         out.add_host(host.switch)
     out.freeze()
     if require_connected and not out.is_connected():
         raise ValueError(
             f"removing links {sorted(dead)} partitions the network")
-    return out
+    return LinkRemoval(out, link_map)
 
 
-def without_switch(g: NetworkGraph, switch: int,
-                   require_connected: bool = True) -> NetworkGraph:
-    """A copy of ``g`` with one switch (its links and hosts) removed.
+def without_links(g: NetworkGraph, link_ids: Iterable[int],
+                  require_connected: bool = True) -> NetworkGraph:
+    """Like :func:`without_links_mapped` but returns just the graph."""
+    return without_links_mapped(g, link_ids, require_connected).graph
 
-    The remaining switches are renumbered densely (old id order kept);
-    host ids are reassigned in the same order.  Returns the new graph;
-    callers needing the old->new switch mapping can derive it: every
-    old id above ``switch`` shifts down by one.
+
+def without_switch_mapped(g: NetworkGraph, switch: int,
+                          require_connected: bool = True) -> SwitchRemoval:
+    """A copy of ``g`` with one switch removed, plus the old->new maps.
+
+    The remaining switches are renumbered densely (old id order kept)
+    and host ids are reassigned in the same order; the returned
+    :class:`SwitchRemoval` carries the explicit ``switch_map`` and
+    ``host_map`` so callers never have to re-derive the shift.
     """
     if not (0 <= switch < g.num_switches):
         raise ValueError(f"switch {switch} out of range")
@@ -71,11 +109,20 @@ def without_switch(g: NetworkGraph, switch: int,
         a, b = new_id(link.a), new_id(link.b)
         if a is not None and b is not None:
             out.add_link(a, b)
+    host_map: Dict[int, int] = {}
     for host in g.hosts:
         s = new_id(host.switch)
         if s is not None:
-            out.add_host(s)
+            host_map[host.id] = out.add_host(s)
     out.freeze()
     if require_connected and not out.is_connected():
         raise ValueError(f"removing switch {switch} partitions the network")
-    return out
+    switch_map = {old: new for old in range(g.num_switches)
+                  if (new := new_id(old)) is not None}
+    return SwitchRemoval(out, switch_map, host_map)
+
+
+def without_switch(g: NetworkGraph, switch: int,
+                   require_connected: bool = True) -> NetworkGraph:
+    """Like :func:`without_switch_mapped` but returns just the graph."""
+    return without_switch_mapped(g, switch, require_connected).graph

@@ -17,7 +17,19 @@ from .base import TrafficPattern
 
 
 class HotspotTraffic(TrafficPattern):
-    """With probability ``fraction``: the hotspot host; otherwise uniform."""
+    """A ``fraction`` share of *all* traffic is directed at the hotspot.
+
+    Only the ``H - 1`` non-hotspot hosts can direct traffic at the
+    hotspot, so a naive per-source probability of ``fraction`` realizes
+    a directed share of only ``fraction * (H - 1) / H`` of all traffic
+    -- below the nominal paper percentage.  The per-source probability
+    is therefore compensated to ``fraction * H / (H - 1)`` so the
+    directed share across all sources equals ``fraction`` exactly.
+
+    The hotspot additionally receives its uniform share of the
+    remaining background traffic; :meth:`realized_hot_fraction` gives
+    the exact total probability that a message lands on the hotspot.
+    """
 
     name = "hotspot"
 
@@ -30,11 +42,31 @@ class HotspotTraffic(TrafficPattern):
             raise ValueError("hotspot fraction must be in (0, 1)")
         if graph.num_hosts < 2:
             raise ValueError("hotspot traffic needs at least two hosts")
+        h = graph.num_hosts
+        directed = fraction * h / (h - 1)
+        if directed >= 1.0:
+            raise ValueError(
+                f"hotspot fraction {fraction} is not realizable with "
+                f"{h} hosts (needs per-source probability {directed:.3f})")
         self.hotspot = hotspot
         self.fraction = fraction
+        #: compensated per-source probability applied at each
+        #: non-hotspot source
+        self.directed_fraction = directed
+
+    def realized_hot_fraction(self) -> float:
+        """Exact P(destination == hotspot) over all generated traffic.
+
+        The directed share contributes ``fraction``; the uniform
+        remainder of every source (including the hotspot host itself,
+        whose messages are all uniform) adds its ``1 / (H - 1)`` spill
+        onto the hotspot.
+        """
+        h = self.graph.num_hosts
+        return self.fraction + (1.0 - self.directed_fraction) / h
 
     def destination(self, src_host: int, rng: random.Random) -> Optional[int]:
-        if src_host != self.hotspot and rng.random() < self.fraction:
+        if src_host != self.hotspot and rng.random() < self.directed_fraction:
             return self.hotspot
         # uniform over everyone but the source (hot messages from the
         # hotspot host itself fall through to here as well)

@@ -20,13 +20,15 @@ from repro.experiments.runner import run_simulation
 from repro.routing.policies import make_policy
 from repro.routing.routes import RouteLeg, SourceRoute
 from repro.routing.table import RoutingTables, compute_tables
-from repro.sim import (CAP_ITB_POOL, CAP_LINK_STATS, CAP_TRACE,
+from repro.sim import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
+                       CAP_TRACE,
                        NetworkModel, PacketTracer, Simulator,
                        UnsupportedCapability, available_engines,
                        engine_capabilities, get_engine, make_network,
                        register, unregister)
 from repro.sim.engines import _ENGINES
-from repro.topology import build_torus
+from repro.topology import build_mutated, build_torus
+from repro.topology.validate import check_topology
 from repro.units import ns
 from tests.conftest import small_config
 
@@ -80,7 +82,8 @@ class TestRegistry:
     def test_full_capability_matrix(self):
         for name in ENGINES:
             assert engine_capabilities(name) == frozenset(
-                {CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE})
+                {CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
+                 CAP_DYNAMIC_FAULTS})
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -277,3 +280,48 @@ class TestWindowedParity:
             u = summaries[name].link_utilization
             assert (u.reserved >= 0).all()
             assert u.reserved.max() > 0
+
+
+class TestMutatedTopologyParity:
+    """Both engines agree on a *broken* fabric too: a torus minus two
+    cables (rebuilt routing stack included) drains bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def mutated(self):
+        g = build_mutated("torus",
+                          base_kwargs={"rows": 4, "cols": 4,
+                                       "hosts_per_switch": 2},
+                          failed_links=[3, 17])
+        check_topology(g)  # every mutated graph passes the invariants
+        return g, compute_tables(g, "itb")
+
+    def test_drained_accounting_identical(self, mutated, traffic_pairs):
+        g, tables = mutated
+        results = {}
+        for name in ENGINES:
+            net, pkts = drained_batch(name, g, tables, traffic_pairs)
+            assert net.delivered == len(traffic_pairs)
+            assert net.in_flight == 0
+            results[name] = {
+                "itb_hist": Counter(p.num_itbs for p in pkts),
+                "links": {(c.src, c.dst, c.link_id): c.flits
+                          for c in net.link_flit_counts()},
+            }
+        assert results["packet"] == results["flit"]
+        # the removed cables (ids 3 and 17 of the *base* torus) exist
+        # in neither engine's channel set
+        base = build_torus(rows=4, cols=4, hosts_per_switch=2)
+        removed = {(base.links[lid].a, base.links[lid].b)
+                   for lid in (3, 17)}
+        removed |= {(b, a) for a, b in removed}
+        for src, dst, _lid in results["packet"]["links"]:
+            assert (src, dst) not in removed
+
+    def test_no_route_uses_failed_links(self, mutated):
+        g, tables = mutated
+        assert g.num_links == 30  # 32-cable torus minus two
+        for alts in tables.routes.values():
+            for route in alts:
+                # link ids are renumbered: every id is in range, and the
+                # endpoint pairs never include the removed cables' ends
+                assert all(lid < g.num_links for lid in route.link_ids)

@@ -42,6 +42,7 @@ class _FakeNet:
     def __init__(self, sim):
         self.sim = sim
         self.params = P
+        self._dropped_pids = set()
 
     def _header_at_switch(self, buf, pkt, leg):  # pragma: no cover
         raise AssertionError("no headers expected")

@@ -1,5 +1,7 @@
 """Metrics: latency collector, link stats, saturation search."""
 
+import math
+
 import pytest
 
 from repro.config import PAPER_PARAMS, SimConfig
@@ -145,14 +147,37 @@ class TestSaturationSearch:
         after max_down_steps instead of looping forever."""
         res = find_saturation(synthetic_run_at(1e-9), start_rate=1.0,
                               max_down_steps=4)
-        assert res.last_stable_rate == 0.0
-        # 1 up probe + 4 down probes + refine bisections
-        assert len(res.runs) >= 5
+        assert not res.converged
+        # 1 up probe + 4 down probes; no bisection without a bracket
+        assert len(res.runs) == 5
+
+    def test_exhausted_down_ramp_reports_nan_not_zero(self):
+        """Regression: an always-saturated response curve must not
+        yield a last_stable_rate anchored on the never-measured 0.0.
+        The exhausted ramp is reported explicitly: converged=False and
+        last_stable_rate=nan, with every probed rate saturated."""
+        res = find_saturation(synthetic_run_at(1e-9), start_rate=1.0,
+                              max_down_steps=4)
+        assert res.converged is False
+        assert math.isnan(res.last_stable_rate)
+        assert all(r.saturated for r in res.runs)
+        # first_saturated_rate is the lowest rate actually probed
+        probed = [r.offered_flits_ns_switch for r in res.runs]
+        assert res.first_saturated_rate == pytest.approx(min(probed))
+
+    def test_converged_set_on_bracketed_search(self):
+        res = find_saturation(synthetic_run_at(0.03), start_rate=0.005)
+        assert res.converged
+
+    def test_ramp_down_recovery_is_converged(self):
+        res = find_saturation(synthetic_run_at(0.002), start_rate=0.005)
+        assert res.converged
 
     def test_never_saturates_within_bounds(self):
         res = find_saturation(synthetic_run_at(1e9), 0.005, max_rate=0.1)
         assert res.first_saturated_rate == float("inf")
         assert res.throughput > 0
+        assert not res.converged
 
     def test_run_log_kept(self):
         res = find_saturation(synthetic_run_at(0.03), 0.005)

@@ -117,3 +117,38 @@ class TestBenchRegressionGate:
         assert {"packet-paper", "packet-val", "flit-val"} <= names
         assert all(p["events_per_s"] > 0 for p in data["points"])
         assert {"packet", "flit"} == {p["engine"] for p in data["points"]}
+
+    def test_missing_file_gives_clear_error(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0)
+        res = self._run(tmp_path / "nope.json", base)
+        assert res.returncode != 0
+        assert "cannot read benchmark file" in res.stderr
+        assert "Traceback" not in res.stderr
+
+    def test_bad_json_gives_clear_error(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        res = self._run(broken, base)
+        assert res.returncode != 0
+        assert "not valid JSON" in res.stderr
+        assert "Traceback" not in res.stderr
+
+    def test_missing_points_key_gives_clear_error(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": 1}))
+        res = self._run(wrong, base)
+        assert res.returncode != 0
+        assert "no 'points' key" in res.stderr
+        assert "Traceback" not in res.stderr
+
+    def test_missing_point_keys_give_clear_error(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0)
+        partial = tmp_path / "partial.json"
+        partial.write_text(json.dumps(
+            {"points": [{"name": "a"}]}))  # no events_per_s
+        res = self._run(partial, base)
+        assert res.returncode != 0
+        assert "events_per_s" in res.stderr
+        assert "Traceback" not in res.stderr

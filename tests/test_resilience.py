@@ -1,0 +1,124 @@
+"""Resilience subsystem: sampling, campaign, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.profiles import TEST
+from repro.orchestrator import Executor
+from repro.resilience import (render_resilience_table, run_resilience,
+                              sample_failed_links, sample_failed_switch)
+from repro.resilience.campaign import _cell_payload, resilience_cell_task
+from repro.topology import build_torus
+from repro.topology.mutate import without_links
+from repro.topology.validate import check_topology
+
+
+@pytest.fixture(scope="module")
+def torus33():
+    return build_torus(rows=3, cols=3, hosts_per_switch=2)
+
+
+class TestSampling:
+    def test_deterministic(self, torus33):
+        assert (sample_failed_links(torus33, 3, 7)
+                == sample_failed_links(torus33, 3, 7))
+        assert (sample_failed_switch(torus33, 7)
+                == sample_failed_switch(torus33, 7))
+
+    def test_seed_and_k_vary_the_set(self, torus33):
+        sets = {sample_failed_links(torus33, 2, s) for s in range(8)}
+        assert len(sets) > 1
+        assert (sample_failed_links(torus33, 1, 7)
+                != sample_failed_links(torus33, 3, 7))
+
+    def test_survivors_stay_connected(self, torus33):
+        for seed in range(5):
+            for k in (1, 2, 4):
+                failed = sample_failed_links(torus33, k, seed)
+                assert len(failed) == k
+                g = without_links(torus33, failed)
+                assert g.is_connected()
+                check_topology(g)
+
+    def test_k_zero_and_negative(self, torus33):
+        assert sample_failed_links(torus33, 0, 1) == ()
+        with pytest.raises(ValueError):
+            sample_failed_links(torus33, -1, 1)
+
+    def test_failed_switch_is_removable(self, torus33):
+        sw = sample_failed_switch(torus33, 3)
+        assert 0 <= sw < torus33.num_switches
+
+
+class TestCellTask:
+    def test_payload_is_json_safe(self):
+        payload = _cell_payload("torus", {"rows": 3, "cols": 3,
+                                          "hosts_per_switch": 2},
+                                (1, 5), "itb", "rr", TEST,
+                                start_rate=0.005, probe_rate=0.01,
+                                seed=1, root=0)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["topology"] == "mutated"
+
+    def test_healthy_payload_uses_base_topology(self):
+        payload = _cell_payload("torus", {"rows": 3, "cols": 3},
+                                (), "updown", "sp", TEST,
+                                start_rate=0.005, probe_rate=0.01,
+                                seed=1, root=0)
+        assert payload["topology"] == "torus"
+
+    def test_task_result_shape(self):
+        payload = _cell_payload("torus", {"rows": 3, "cols": 3,
+                                          "hosts_per_switch": 2},
+                                (2,), "itb", "rr", TEST,
+                                start_rate=0.01, probe_rate=0.01,
+                                seed=1, root=0)
+        res = resilience_cell_task(payload)
+        assert json.loads(json.dumps(res)) == res
+        assert res["throughput"] > 0
+        assert 0.0 <= res["fraction_minimal"] <= 1.0
+        assert 0.0 <= res["root_concentration"] <= 1.0
+        assert res["runs"] >= 2
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_resilience(
+            "torus", TEST, seed=1, ks=(1,),
+            topology_kwargs={"rows": 3, "cols": 3,
+                             "hosts_per_switch": 2},
+            start_rate=0.01)
+
+    def test_baseline_retention_is_unity(self, report):
+        for cell in report.baseline.values():
+            assert cell.k == 0
+            assert cell.retention == 1.0
+            assert cell.failed_links == ()
+
+    def test_degraded_cells_cover_schemes(self, report):
+        assert {c.label for c in report.cells} == {"UP/DOWN", "ITB-RR"}
+        for cell in report.cells:
+            assert cell.k == 1
+            assert len(cell.failed_links) == 1
+            assert cell.throughput > 0
+            assert cell.retention > 0
+
+    def test_parallel_run_matches_inline(self, report):
+        ex = Executor(workers=2, store=None)
+        par = run_resilience(
+            "torus", TEST, seed=1, ks=(1,),
+            topology_kwargs={"rows": 3, "cols": 3,
+                             "hosts_per_switch": 2},
+            start_rate=0.01, executor=ex)
+        assert par == report
+
+    def test_render(self, report):
+        text = render_resilience_table(report)
+        assert "Graceful degradation" in text
+        assert "UP/DOWN" in text and "ITB-RR" in text
+        assert "k=1" in text
+        assert "100.0%" in text  # baseline retention

@@ -204,6 +204,10 @@ class TestRegistry:
             "cplant": {},
             "irregular": {"num_switches": 8, "hosts_per_switch": 2},
             "mesh": {"rows": 3, "cols": 4, "hosts_per_switch": 2},
+            "mutated": {"base": "torus",
+                        "base_kwargs": {"rows": 3, "cols": 3,
+                                        "hosts_per_switch": 2},
+                        "failed_links": [0]},
         }
         for name in BUILDERS:
             g = build(name, **kwargs[name])

@@ -95,6 +95,34 @@ class TestHotspot:
         # ~20% explicit hotspot picks plus ~1/31 uniform residue
         assert 0.18 < hits / n < 0.28
 
+    def test_realized_fraction_matches_nominal(self, g):
+        """The directed hot share of *all* traffic must equal the
+        nominal fraction: the per-source probability is compensated by
+        H/(H-1) because the hotspot host itself never directs traffic
+        at the hotspot.  Sources generate at equal rates, so sampling
+        cycles through every source."""
+        frac = 0.2
+        pat = HotspotTraffic(g, hotspot=9, fraction=frac)
+        h = g.num_hosts
+        assert pat.directed_fraction == pytest.approx(frac * h / (h - 1))
+        rng = random.Random(11)
+        n = 50_000
+        hits = sum(pat.destination(i % h, rng) == 9 for i in range(n))
+        expected = pat.realized_hot_fraction()
+        # total-on-hotspot share: nominal directed fraction plus the
+        # uniform spill; 4-sigma band on the binomial sample
+        sigma = (expected * (1 - expected) / n) ** 0.5
+        assert abs(hits / n - expected) < 4 * sigma
+        # the realized share can no longer drift below nominal
+        assert expected >= frac
+
+    def test_unrealizable_fraction_rejected(self, g):
+        # fraction so high that the compensated per-source probability
+        # would exceed 1
+        h = g.num_hosts
+        with pytest.raises(ValueError, match="realizable"):
+            HotspotTraffic(g, hotspot=0, fraction=(h - 1) / h + 0.001)
+
     def test_hotspot_host_sends_uniform(self, g):
         pat = HotspotTraffic(g, hotspot=9, fraction=0.5)
         rng = random.Random(5)
