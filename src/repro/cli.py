@@ -17,6 +17,15 @@ Commands
     Regenerate one paper artefact (``fig7a`` ... ``table3``) under a
     profile and print the rendered report.
 
+``resilience``
+    Graceful-degradation table: saturation throughput vs injected
+    (static) link failures.
+
+``recovery``
+    Recovery table: a cable dies mid-run with reliable delivery on;
+    compares the static blacklist against online reconfiguration
+    (``--strict`` fails on permanent losses, for CI smokes).
+
 ``list``
     The experiment registry.
 
@@ -53,7 +62,8 @@ from .experiments.runner import get_graph, get_tables, run_simulation
 from .experiments.sweep import sweep_rates
 from .orchestrator import (DEFAULT_CACHE_DIR, Executor, ProgressReporter,
                            ResultStore)
-from .resilience import render_resilience_table, run_resilience
+from .resilience import (render_recovery_table, render_resilience_table,
+                         run_recovery, run_resilience)
 from .routing.analysis import route_statistics
 from .sim.engines import available_engines
 from .units import ns
@@ -105,6 +115,11 @@ def _add_exec_options(p: argparse.ArgumentParser) -> None:
                         "killed and the point retried)")
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts for crashed/hung points")
+    p.add_argument("--retry-backoff", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="base delay before re-running a failed point "
+                        "(doubled per attempt, with jitter; 0 = retry "
+                        "immediately)")
 
 
 def _make_executor(args: argparse.Namespace,
@@ -116,6 +131,7 @@ def _make_executor(args: argparse.Namespace,
     reporter = ProgressReporter() if progress else None
     return Executor(workers=args.workers, store=store,
                     timeout_s=args.task_timeout, retries=args.retries,
+                    retry_backoff_s=args.retry_backoff,
                     reporter=reporter)
 
 
@@ -228,6 +244,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             print()
     elif exp.kind == "resilience-table":
         print(render_resilience_table(result))
+    elif exp.kind == "recovery-table":
+        print(render_recovery_table(result))
     else:
         print(render_hotspot_table(result))
     if executor is not None:
@@ -249,6 +267,31 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     print(render_resilience_table(report))
     if executor is not None:
         print(f"points: {executor.stats.oneline()}", file=sys.stderr)
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    profile: Profile = PROFILES[args.profile]
+    topology_kwargs = {}
+    if args.topology in ("torus", "torus-express", "mesh"):
+        topology_kwargs = {"rows": args.rows, "cols": args.cols,
+                           "hosts_per_switch": args.hosts_per_switch}
+    rates = tuple(float(r) for r in args.rates.split(","))
+    executor = _make_executor(args)
+    report = run_recovery(args.topology, profile, seed=args.seed,
+                          rates=rates, topology_kwargs=topology_kwargs,
+                          executor=executor)
+    print(render_recovery_table(report))
+    if executor is not None:
+        print(f"points: {executor.stats.oneline()}", file=sys.stderr)
+    if args.strict:
+        lost = sum(c.permanent_losses for c in report.cells
+                   if c.mode == "reconfigure")
+        if lost:
+            print(f"STRICT: {lost} permanently lost messages under the "
+                  f"reconfigure policy (expected zero: the fault leaves "
+                  f"the fabric connected)", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -325,6 +368,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
     _add_exec_options(p)
     p.set_defaults(fn=cmd_resilience)
+
+    p = sub.add_parser("recovery",
+                       help="reliable-delivery recovery from a mid-run "
+                            "link failure")
+    p.add_argument("--topology", default="torus",
+                   choices=["torus", "torus-express", "cplant",
+                            "irregular", "mesh"])
+    p.add_argument("--rows", type=int, default=4)
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--rates", default="0.01,0.02,0.03",
+                   help="comma-separated offered loads")
+    p.add_argument("--seed", type=int, default=1,
+                   help="selects the failed link and the traffic; "
+                        "repeat invocations are identical")
+    p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any reconfigure-policy cell "
+                        "reports permanent losses (CI smoke)")
+    _add_exec_options(p)
+    p.set_defaults(fn=cmd_recovery)
 
     p = sub.add_parser("list", help="list paper artefacts")
     p.set_defaults(fn=cmd_list)

@@ -12,6 +12,7 @@ from typing import Any, Callable, Dict
 
 from . import figures, tables
 from ..resilience import campaign as resilience_campaign
+from ..resilience import recovery as resilience_recovery
 from .profiles import Profile
 
 
@@ -20,7 +21,8 @@ class Experiment:
     """One reproducible paper artefact."""
 
     exp_id: str
-    kind: str  # "latency-panel" | "link-map" | "hotspot-table" | "resilience-table"
+    kind: str  # "latency-panel" | "link-map" | "hotspot-table"
+               # | "resilience-table" | "recovery-table"
     description: str
     fn: Callable[[Profile], Any]
 
@@ -64,6 +66,9 @@ _register("table3", "hotspot-table",
 _register("resilience", "resilience-table",
           "Graceful degradation under link failures, 4x4 torus",
           resilience_campaign.torus_resilience)
+_register("recovery", "recovery-table",
+          "Reliable-delivery recovery from a mid-run link failure, "
+          "4x4 torus", resilience_recovery.torus_recovery)
 
 
 def run_experiment(exp_id: str, profile: Profile,

@@ -23,6 +23,7 @@ from ..canon import freeze
 from ..config import SimConfig
 from ..metrics.collector import LatencyCollector
 from ..metrics.linkstats import collect_link_stats
+from ..metrics.recovery import RecoveryTracker
 from ..metrics.summary import RunSummary
 from ..perf import PerfRecorder, now as _now, profile_to
 from ..routing.policies import make_policy
@@ -30,6 +31,8 @@ from ..routing.table import RoutingTables, compute_tables
 from ..sim.engine import Simulator
 from ..sim.engines import make_network
 from ..sim.faults import FaultPlan
+from ..sim.reliable import (ReconfigParams, ReconfigurationManager,
+                            ReliableParams, ReliableTransport)
 from ..topology import build as build_topology
 from ..topology.graph import NetworkGraph
 from ..topology.validate import check_topology
@@ -89,7 +92,10 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                    graph: Optional[NetworkGraph] = None,
                    perf: Optional[PerfRecorder] = None,
                    profile_path: Optional[str] = None,
-                   fault_plan: Optional[Any] = None) -> RunSummary:
+                   fault_plan: Optional[Any] = None,
+                   reliable: Optional[Any] = None,
+                   reconfig: Optional[Any] = None,
+                   recovery_threshold: float = 0.9) -> RunSummary:
     """Execute one simulation run described by ``config``.
 
     ``collect_links`` additionally gathers the per-link utilisation
@@ -105,6 +111,18 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     ``CAP_DYNAMIC_FAULTS``.  Dropped messages appear in
     ``messages_dropped`` and never count as delivered.
 
+    ``reliable`` (``True``, a :class:`repro.sim.ReliableParams` or its
+    ``to_dict`` form) fronts the engine with the end-to-end
+    retransmission protocol: message counts in the summary become
+    *message*-level (unique deliveries; retransmitted attempts show up
+    in ``retransmissions`` / ``duplicate_deliveries``).  ``reconfig``
+    (``True``, a :class:`repro.sim.ReconfigParams` or a dict) installs
+    the online reconfiguration manager that recomputes and hot-swaps
+    the routing tables after each fault; with a fault plan present the
+    summary additionally reports ``time_to_recover_ns``, the first
+    post-fault window whose accepted traffic is back within
+    ``recovery_threshold`` of the pre-fault mean.
+
     ``perf`` (a :class:`repro.perf.PerfRecorder`) receives wall-clock
     and events/sec figures for the run; ``profile_path`` additionally
     dumps a :mod:`cProfile` trace of the whole call to that file.
@@ -113,7 +131,17 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     with profile_to(profile_path):
         return _run_simulation(config, collect_links, root, sort_by_itbs,
                                watchdog_ps, tables, graph, perf,
-                               fault_plan)
+                               fault_plan, reliable, reconfig,
+                               recovery_threshold)
+
+
+def _coerce(value: Any, cls: type) -> Any:
+    """``True`` -> defaults, mapping -> ``from_dict``, instance -> as-is."""
+    if value is True:
+        return cls()
+    if isinstance(value, Mapping):
+        return cls.from_dict(dict(value))
+    return value
 
 
 def _run_simulation(config: SimConfig, collect_links: bool,
@@ -122,7 +150,10 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                     tables: Optional[RoutingTables],
                     graph: Optional[NetworkGraph],
                     perf: Optional[PerfRecorder],
-                    fault_plan: Optional[Any] = None) -> RunSummary:
+                    fault_plan: Optional[Any] = None,
+                    reliable: Optional[Any] = None,
+                    reconfig: Optional[Any] = None,
+                    recovery_threshold: float = 0.9) -> RunSummary:
     t_start = _now()
     config.validate()
     if graph is not None:
@@ -145,9 +176,23 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                            config.params,
                            message_bytes=config.message_bytes)
     collector = LatencyCollector()
-    network.add_delivery_callback(collector.on_delivered)
+    transport = None
+    if reliable:
+        transport = ReliableTransport(network,
+                                      _coerce(reliable, ReliableParams))
+        # the collector sees unique messages at message latency, not
+        # per-attempt deliveries (duplicates are suppressed upstream)
+        transport.add_message_callback(collector.on_delivered)
+    else:
+        network.add_delivery_callback(collector.on_delivered)
     # adaptive policies learn from delivery latencies (no-op for others)
     network.add_delivery_callback(policy.feedback)
+    manager = None
+    if reconfig:
+        manager = ReconfigurationManager(
+            network, _coerce(reconfig, ReconfigParams),
+            max_routes_per_pair=config.params.max_routes_per_pair,
+            sort_by_itbs=sort_by_itbs)
 
     pattern = make_pattern(config.traffic, g, **dict(config.traffic_kwargs))
     interval = per_host_interval_ps(config.injection_rate,
@@ -157,8 +202,9 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     # proportionally lower than the nominal per-host rate
     effective_rate = (config.injection_rate
                       * len(pattern.active_hosts()) / g.num_hosts)
-    traffic = TrafficProcess(sim, network, pattern, interval,
-                             seed=config.seed,
+    traffic = TrafficProcess(sim,
+                             transport if transport is not None else network,
+                             pattern, interval, seed=config.seed,
                              max_messages=config.max_messages)
 
     if watchdog_ps is None:
@@ -173,14 +219,27 @@ def _run_simulation(config: SimConfig, collect_links: bool,
             fault_plan = FaultPlan.from_dict(fault_plan)
         network.install_fault_plan(fault_plan)
 
+    tracker = None
+    if fault_plan:
+        tracker = RecoveryTracker(max(1, config.measure_ps // 20))
+        if transport is not None:
+            transport.add_message_callback(tracker.on_delivered)
+        else:
+            network.add_delivery_callback(tracker.on_delivered)
+
     t_setup_done = _now()
     traffic.start()
     sim.run_until(config.warmup_ps)
     collector.reset()
     network.reset_stats()
+    if tracker is not None:
+        tracker.start(config.warmup_ps)
     delivered_before = network.delivered
     generated_before = network.generated
     dropped_before = network.dropped
+    unroutable_before = network.dropped_unroutable
+    transport_before = transport.stats() if transport is not None else None
+    reconfig_before = manager.reconfigurations if manager is not None else 0
     backlog_before = network.in_flight
     sim.run_until(config.warmup_ps + config.measure_ps)
     t_sim_done = _now()
@@ -198,15 +257,45 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     if collect_links:
         links = collect_link_stats(network, config.measure_ps, config.params)
 
+    dropped = network.dropped - dropped_before
+    unroutable = network.dropped_unroutable - unroutable_before
+    if transport is not None:
+        ts = transport.stats()
+        tdelta = {k: ts[k] - transport_before[k] for k in ts}
+        messages_generated = tdelta["messages"]
+        messages_delivered = tdelta["delivered"]
+    else:
+        tdelta = {"retransmissions": 0, "duplicates": 0,
+                  "permanent_losses": 0, "recovered": 0}
+        messages_generated = network.generated - generated_before
+        messages_delivered = network.delivered - delivered_before
+
+    time_to_recover_ns = None
+    if tracker is not None:
+        ttr = tracker.time_to_recover_ps(
+            fault_plan.first_t_ps, config.warmup_ps + config.measure_ps,
+            recovery_threshold)
+        if ttr is not None:
+            time_to_recover_ns = ttr / 1_000
+
     itb = network.itb_stats()
     return RunSummary(
         config=config,
         offered_flits_ns_switch=effective_rate,
         accepted_flits_ns_switch=collector.accepted_flits_ns_switch(
             config.measure_ps, g.num_switches),
-        messages_delivered=network.delivered - delivered_before,
-        messages_generated=network.generated - generated_before,
-        messages_dropped=network.dropped - dropped_before,
+        messages_delivered=messages_delivered,
+        messages_generated=messages_generated,
+        messages_dropped=dropped,
+        dropped_in_flight=dropped - unroutable,
+        dropped_unroutable=unroutable,
+        retransmissions=tdelta["retransmissions"],
+        duplicate_deliveries=tdelta["duplicates"],
+        permanent_losses=tdelta["permanent_losses"],
+        recovered_messages=tdelta["recovered"],
+        reconfigurations=(manager.reconfigurations - reconfig_before
+                          if manager is not None else 0),
+        time_to_recover_ns=time_to_recover_ns,
         avg_latency_ns=collector.avg_latency_ns(),
         avg_network_latency_ns=collector.avg_network_latency_ns(),
         max_latency_ns=(collector.max_latency_ps / 1_000

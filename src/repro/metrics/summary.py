@@ -40,6 +40,30 @@ class RunSummary:
     #: window (dropped in flight, or refused at the source because no
     #: surviving route existed); zero for every fault-free run
     messages_dropped: int = 0
+    #: split of ``messages_dropped``: worms stranded inside the fabric
+    #: by a dying link (transient loss -- a retransmission can recover)
+    dropped_in_flight: int = 0
+    #: split of ``messages_dropped``: refusals at the source NIC
+    #: because no surviving route existed at send time
+    dropped_unroutable: int = 0
+    #: reliable-delivery protocol counters (measurement window; all
+    #: zero when the reliability layer is off)
+    retransmissions: int = 0
+    duplicate_deliveries: int = 0
+    #: messages abandoned after the retransmission attempt budget --
+    #: with online reconfiguration this should stay zero for every
+    #: pair the surviving fabric still connects
+    permanent_losses: int = 0
+    #: messages delivered on a retransmitted attempt (would have been
+    #: lost without the reliability layer)
+    recovered_messages: int = 0
+    #: table swaps performed by online reconfiguration
+    reconfigurations: int = 0
+    #: first post-fault window whose accepted traffic is back within
+    #: the recovery threshold of the pre-fault mean, measured from the
+    #: first fault; ``None`` without a fault plan or when the run never
+    #: recovers inside the measurement window
+    time_to_recover_ns: Optional[float] = None
 
     @property
     def saturated(self) -> bool:
@@ -92,6 +116,14 @@ class RunSummary:
                                  else None),
             "backlog_growth": self.backlog_growth,
             "messages_dropped": self.messages_dropped,
+            "dropped_in_flight": self.dropped_in_flight,
+            "dropped_unroutable": self.dropped_unroutable,
+            "retransmissions": self.retransmissions,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "permanent_losses": self.permanent_losses,
+            "recovered_messages": self.recovered_messages,
+            "reconfigurations": self.reconfigurations,
+            "time_to_recover_ns": self.time_to_recover_ns,
         }
 
     @classmethod

@@ -128,8 +128,10 @@ class Executor:
                  store: Optional[ResultStore] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 1,
+                 retry_backoff_s: float = 0.0,
                  reporter: Optional[ProgressReporter] = None):
-        self.pool = WorkerPool(workers, timeout_s=timeout_s, retries=retries)
+        self.pool = WorkerPool(workers, timeout_s=timeout_s, retries=retries,
+                               retry_backoff_s=retry_backoff_s)
         self.store = store
         self.reporter = reporter
         self.stats = ExecutorStats()

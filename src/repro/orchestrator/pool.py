@@ -33,6 +33,7 @@ from __future__ import annotations
 import importlib
 import multiprocessing as mp
 import queue
+import random
 import time
 import traceback
 from collections import deque
@@ -119,21 +120,44 @@ class WorkerPool:
     attempts a crashed or timed-out task gets before it is reported
     failed (clean exceptions are never retried -- they are
     deterministic).
+
+    ``retry_backoff_s`` delays each re-run: attempt ``n+1`` starts no
+    sooner than ``retry_backoff_s * 2**(n-1)`` seconds after attempt
+    ``n`` failed, stretched by up to ``retry_jitter`` (a fraction) of
+    random extra delay so simultaneous failures do not retry in
+    lock-step.  The default 0 keeps the historical immediate-retry
+    behaviour; a machine whose workers die from memory pressure wants
+    a second or two of breathing room instead of being hammered.
     """
 
     def __init__(self, workers: int = 1, timeout_s: Optional[float] = None,
-                 retries: int = 1, start_method: Optional[str] = None):
+                 retries: int = 1, start_method: Optional[str] = None,
+                 retry_backoff_s: float = 0.0, retry_jitter: float = 0.5):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
         self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self._rng = random.Random()
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
         self.start_method = start_method
+
+    def _retry_delay_s(self, failed_attempt: int) -> float:
+        """Seconds to wait before re-running after ``failed_attempt``."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        delay = self.retry_backoff_s * (2.0 ** (failed_attempt - 1))
+        return delay * (1.0 + self.retry_jitter * self._rng.random())
 
     def run(self, tasks: Sequence[Task],
             on_result: Optional[Callable[[TaskResult], None]] = None
@@ -177,7 +201,9 @@ class WorkerPool:
     def _run_parallel(self, tasks, on_result) -> Dict[str, TaskResult]:
         ctx = mp.get_context(self.start_method)
         result_q = ctx.Queue()
-        pending = deque((task, 1) for task in tasks)
+        #: (task, attempt, not_before): the attempt may not start
+        #: before the monotonic instant ``not_before`` (retry backoff)
+        pending = deque((task, 1, 0.0) for task in tasks)
         #: task_id -> (process, task, attempt, started_at)
         active: Dict[str, tuple] = {}
         #: task_id -> monotonic time its process was first seen exited
@@ -192,16 +218,31 @@ class WorkerPool:
         def retry_or_fail(task: Task, attempt: int, started: float,
                           reason: str) -> None:
             if attempt <= self.retries:
-                pending.append((task, attempt + 1))
+                not_before = time.monotonic() + self._retry_delay_s(attempt)
+                pending.append((task, attempt + 1, not_before))
             else:
                 finish(TaskResult(task.task_id, None,
                                   f"{reason} (after {attempt} attempts)",
                                   attempt, time.monotonic() - started))
 
+        def next_ready() -> Optional[tuple]:
+            """Pop the first pending attempt whose backoff has elapsed."""
+            now = time.monotonic()
+            for i, entry in enumerate(pending):
+                if entry[2] <= now:
+                    del pending[i]
+                    return entry
+            return None
+
         try:
             while pending or active:
                 while pending and len(active) < self.workers:
-                    task, attempt = pending.popleft()
+                    entry = next_ready()
+                    if entry is None:
+                        # everything pending is backing off; the result
+                        # poll below provides the pacing
+                        break
+                    task, attempt, _not_before = entry
                     proc = ctx.Process(
                         target=_task_main,
                         args=(result_q, task.task_id, task.fn, task.payload),

@@ -12,20 +12,28 @@ the schemes degrade while running on a broken fabric:
   the ``"mutated"`` topology builder, drives per-configuration
   saturation searches through the orchestrator, and reduces them to
   graceful-degradation metrics against the healthy baseline;
-* :mod:`report` renders the degradation table.
+* :mod:`recovery` measures the transient: a cable dies under live
+  traffic with reliable delivery on, comparing PR 4's static blacklist
+  against online reconfiguration (time-to-recover, retransmission and
+  duplicate cost, permanent losses);
+* :mod:`report` renders the degradation and recovery tables.
 
 Dynamic mid-run faults (a cable dying under live traffic) live in
-:mod:`repro.sim.faults`; this package covers the steady-state question
-of what performance remains after routing is recomputed.
+:mod:`repro.sim.faults`; the protocol machinery that survives them
+(retransmission, ACKs, table hot-swap) in :mod:`repro.sim.reliable`.
 """
 
 from .campaign import (RESILIENCE_TASK_FN, ResilienceCell,
                        ResilienceReport, resilience_cell_task,
                        run_resilience)
-from .report import render_resilience_table
+from .recovery import (RECOVERY_TASK_FN, RecoveryCell, RecoveryReport,
+                       recovery_cell_task, run_recovery, torus_recovery)
+from .report import render_recovery_table, render_resilience_table
 from .sampling import sample_failed_links, sample_failed_switch
 
 __all__ = ["ResilienceCell", "ResilienceReport", "RESILIENCE_TASK_FN",
            "resilience_cell_task", "run_resilience",
-           "render_resilience_table", "sample_failed_links",
-           "sample_failed_switch"]
+           "RecoveryCell", "RecoveryReport", "RECOVERY_TASK_FN",
+           "recovery_cell_task", "run_recovery", "torus_recovery",
+           "render_resilience_table", "render_recovery_table",
+           "sample_failed_links", "sample_failed_switch"]

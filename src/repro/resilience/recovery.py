@@ -1,0 +1,217 @@
+"""Recovery campaign: reliable delivery + reconfiguration under a
+mid-run link failure.
+
+Where :mod:`campaign` asks the *steady-state* question (how much
+performance remains once routing has been recomputed on a broken
+fabric), this module asks the *transient* one: a cable dies under live
+traffic -- how long until accepted traffic is back, how many
+retransmissions did the recovery cost, and does anything stay lost?
+
+One scenario, measured as a matrix: for each routing scheme (the
+paper's UP/DOWN baseline vs ITB-RR) and each fault-handling policy
+(PR 4's static ``blacklist`` vs online ``reconfigure``), the same link
+dies a quarter into the measurement window at several offered loads.
+Reliable delivery is on everywhere -- the policies differ only in what
+the NICs route with afterwards -- so the table isolates what table
+recomputation buys on top of retransmission.
+
+Cells are JSON-in/JSON-out tasks (:func:`recovery_cell_task`) so the
+campaign flows through the orchestrator's worker pool and result store
+exactly like the degradation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..experiments.profiles import Profile
+from ..experiments.runner import get_graph, run_simulation
+from ..sim.faults import FaultPlan
+from ..sim.reliable import ReconfigParams, ReliableParams
+from .campaign import SCHEMES
+from .sampling import sample_failed_links
+
+#: fn-path of :func:`recovery_cell_task` for the orchestrator
+RECOVERY_TASK_FN = "repro.resilience.recovery:recovery_cell_task"
+
+#: offered loads of the goodput-vs-load columns, flits/ns/switch
+DEFAULT_RATES: Tuple[float, ...] = (0.01, 0.02, 0.03)
+
+
+@dataclass(frozen=True)
+class RecoveryCell:
+    """One (scheme, policy, offered load) entry of the recovery table."""
+
+    label: str
+    routing: str
+    policy: str
+    #: fault-handling policy: ``"blacklist"`` or ``"reconfigure"``
+    mode: str
+    #: nominal offered load, flits/ns/switch
+    rate: float
+    #: measured goodput (unique deliveries), flits/ns/switch
+    goodput: float
+    messages_generated: int
+    messages_delivered: int
+    #: retransmitted attempts per generated message
+    retransmissions_per_message: float
+    #: duplicate copies per delivered message
+    duplicate_rate: float
+    permanent_losses: int
+    dropped_in_flight: int
+    dropped_unroutable: int
+    reconfigurations: int
+    #: fault -> accepted traffic back within threshold; ``None`` when
+    #: the run never recovers inside the window
+    time_to_recover_ns: Optional[float]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """The full recovery study for one topology, fault and seed."""
+
+    topology: str
+    topology_kwargs: Dict[str, Any]
+    seed: int
+    #: the cable that dies
+    failed_link: int
+    #: failure instant, ns from simulation start
+    fault_ns: float
+    #: mapper detection latency, ns
+    detection_ns: float
+    #: cells ordered by (scheme, mode, rate)
+    cells: Tuple[RecoveryCell, ...]
+
+
+def _cell_payload(topology: str, topology_kwargs: Dict[str, Any],
+                  routing: str, policy: str, mode: str, rate: float,
+                  profile: Profile, seed: int, root: int,
+                  fault_plan: FaultPlan, reliable: ReliableParams,
+                  detection_latency_ps: int) -> dict:
+    """JSON-safe description of one cell (orchestrator task payload)."""
+    return {
+        "topology": topology,
+        "topology_kwargs": dict(topology_kwargs),
+        "routing": routing,
+        "policy": policy,
+        "seed": seed,
+        "root": root,
+        "rate": rate,
+        "warmup_ps": profile.warmup_ps,
+        "measure_ps": profile.measure_ps,
+        "fault_plan": fault_plan.to_dict(),
+        "reliable": reliable.to_dict(),
+        "reconfig": ReconfigParams(
+            policy=mode,
+            detection_latency_ps=detection_latency_ps).to_dict(),
+    }
+
+
+def recovery_cell_task(payload: dict) -> dict:
+    """Worker function: one recovery run, summarised to plain JSON."""
+    cfg = SimConfig(
+        topology=payload["topology"],
+        topology_kwargs=payload["topology_kwargs"],
+        routing=payload["routing"], policy=payload["policy"],
+        traffic="uniform", injection_rate=payload["rate"],
+        warmup_ps=payload["warmup_ps"],
+        measure_ps=payload["measure_ps"],
+        seed=payload["seed"])
+    s = run_simulation(cfg, root=payload["root"],
+                       fault_plan=payload["fault_plan"],
+                       reliable=payload["reliable"],
+                       reconfig=payload["reconfig"])
+    return {
+        "goodput": s.accepted_flits_ns_switch,
+        "messages_generated": s.messages_generated,
+        "messages_delivered": s.messages_delivered,
+        "retransmissions": s.retransmissions,
+        "duplicate_deliveries": s.duplicate_deliveries,
+        "permanent_losses": s.permanent_losses,
+        "dropped_in_flight": s.dropped_in_flight,
+        "dropped_unroutable": s.dropped_unroutable,
+        "reconfigurations": s.reconfigurations,
+        "time_to_recover_ns": s.time_to_recover_ns,
+    }
+
+
+def run_recovery(topology: str, profile: Profile, seed: int = 1,
+                 rates: Tuple[float, ...] = DEFAULT_RATES,
+                 topology_kwargs: Optional[Dict[str, Any]] = None,
+                 root: int = 0,
+                 reliable: Optional[ReliableParams] = None,
+                 detection_latency_ps: Optional[int] = None,
+                 executor=None) -> RecoveryReport:
+    """Run the recovery matrix for one topology, fault and seed.
+
+    The failed cable is the seed's first connectivity-preserving
+    sample, so both policies face the *same* fault; it dies a quarter
+    into the measurement window, leaving three quarters to observe the
+    recovery.
+    """
+    topology_kwargs = dict(topology_kwargs or {})
+    g = get_graph(topology, topology_kwargs)
+    failed_link = sample_failed_links(g, 1, seed)[0]
+    fault_ps = profile.warmup_ps + profile.measure_ps // 4
+    fault_plan = FaultPlan.at((fault_ps, failed_link))
+    reliable = reliable or ReliableParams()
+    if detection_latency_ps is None:
+        detection_latency_ps = ReconfigParams().detection_latency_ps
+
+    specs: List[Tuple[str, str, str, str, float, dict]] = []
+    for routing, policy, label in SCHEMES:
+        for mode in ("blacklist", "reconfigure"):
+            for rate in rates:
+                specs.append((routing, policy, label, mode, rate,
+                              _cell_payload(topology, topology_kwargs,
+                                            routing, policy, mode, rate,
+                                            profile, seed, root,
+                                            fault_plan, reliable,
+                                            detection_latency_ps)))
+
+    if executor is not None:
+        results = executor.run_tasks(
+            RECOVERY_TASK_FN, [p for *_, p in specs],
+            labels=[f"recovery {label} {mode} rate={rate}"
+                    for _, _, label, mode, rate, _ in specs])
+    else:
+        results = [recovery_cell_task(p) for *_, p in specs]
+
+    cells = []
+    for (routing, policy, label, mode, rate, _), r in zip(specs, results):
+        gen = r["messages_generated"]
+        dlv = r["messages_delivered"]
+        cells.append(RecoveryCell(
+            label=label, routing=routing, policy=policy, mode=mode,
+            rate=rate, goodput=r["goodput"],
+            messages_generated=gen, messages_delivered=dlv,
+            retransmissions_per_message=(r["retransmissions"] / gen
+                                         if gen else 0.0),
+            duplicate_rate=(r["duplicate_deliveries"] / dlv
+                            if dlv else 0.0),
+            permanent_losses=r["permanent_losses"],
+            dropped_in_flight=r["dropped_in_flight"],
+            dropped_unroutable=r["dropped_unroutable"],
+            reconfigurations=r["reconfigurations"],
+            time_to_recover_ns=r["time_to_recover_ns"]))
+    return RecoveryReport(topology, topology_kwargs, seed, failed_link,
+                          fault_ps / 1_000, detection_latency_ps / 1_000,
+                          tuple(cells))
+
+
+def torus_recovery(profile: Profile, executor=None) -> RecoveryReport:
+    """Registry entry: mid-run link failure on the 4-ary 2-cube.
+
+    The 4x4 torus with two hosts per switch is the acceptance fabric:
+    small enough that every (scheme, policy, load) cell runs in
+    seconds, dense enough that a single dead cable actually bends
+    routes.  With reconfiguration on, permanent losses must be zero --
+    the fault never partitions the fabric, so every pair stays
+    connected and every message is eventually retransmitted home.
+    """
+    return run_recovery(
+        "torus", profile, seed=1,
+        topology_kwargs={"rows": 4, "cols": 4, "hosts_per_switch": 2},
+        executor=executor)

@@ -1,10 +1,11 @@
-"""ASCII rendering of the graceful-degradation table."""
+"""ASCII rendering of the resilience tables (degradation + recovery)."""
 
 from __future__ import annotations
 
 from typing import List
 
 from .campaign import ResilienceCell, ResilienceReport
+from .recovery import RecoveryCell, RecoveryReport
 
 
 def _row(cell: ResilienceCell) -> str:
@@ -43,4 +44,43 @@ def render_resilience_table(report: ResilienceReport) -> str:
         for cell in report.cells:
             if cell.k == k:
                 lines.append(_row(cell))
+    return "\n".join(lines)
+
+
+def _recovery_row(cell: RecoveryCell) -> str:
+    ttr = (f"{cell.time_to_recover_ns:9.0f}"
+           if cell.time_to_recover_ns is not None else "      n/a")
+    loss = cell.permanent_losses
+    return (f"{cell.label:8s} {cell.mode:11s} {cell.rate:7.3f} "
+            f"{cell.goodput:8.4f} "
+            f"{cell.retransmissions_per_message:8.3f} "
+            f"{cell.duplicate_rate:6.1%} {loss:5d} "
+            f"{cell.dropped_in_flight:5d} {cell.dropped_unroutable:5d} "
+            f"{ttr}")
+
+
+def render_recovery_table(report: RecoveryReport) -> str:
+    """The recovery study as a fixed-width table.
+
+    ``perm`` is the headline column: messages abandoned after the
+    retransmission budget.  Under the ``reconfigure`` policy it must
+    be zero whenever the fault leaves the fabric connected -- that is
+    the reliable-delivery guarantee.  ``rtx/msg`` and ``dup`` show
+    what the recovery cost; ``ttr`` how long accepted traffic took to
+    return to the pre-fault level.
+    """
+    lines: List[str] = []
+    kw = ", ".join(f"{k}={v}" for k, v in
+                   sorted(report.topology_kwargs.items()))
+    lines.append(f"Recovery after a mid-run link failure, {report.topology}"
+                 + (f" ({kw})" if kw else "")
+                 + f", seed {report.seed}")
+    lines.append(f"link {report.failed_link} dies at "
+                 f"{report.fault_ns:.0f} ns; mapper detection latency "
+                 f"{report.detection_ns:.0f} ns; reliable delivery on")
+    lines.append(f"{'scheme':8s} {'policy':11s} {'rate':>7s} "
+                 f"{'goodput':>8s} {'rtx/msg':>8s} {'dup':>6s} "
+                 f"{'perm':>5s} {'drop':>5s} {'unrt':>5s} {'ttr(ns)':>9s}")
+    for cell in report.cells:
+        lines.append(_recovery_row(cell))
     return "\n".join(lines)

@@ -17,11 +17,11 @@ Two schemes are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
 
 from ..topology.graph import NetworkGraph
 from .itb import build_itb_routes
-from .routes import SourceRoute
+from .routes import RouteLeg, SourceRoute
 from .simple_routes import compute_simple_routes
 from .spanning_tree import build_spanning_tree
 from .updown import UpDownOrientation, orient_links
@@ -43,6 +43,47 @@ class RoutingTables:
 
     def max_alternatives(self) -> int:
         return max(len(alts) for alts in self.routes.values())
+
+    def with_remapped_links(self, link_map: Mapping[int, int]
+                            ) -> "RoutingTables":
+        """Tables identical to these but with every link id translated
+        through ``link_map``.
+
+        Online reconfiguration computes tables on a mutated copy of
+        the graph whose surviving cables were renumbered
+        (:func:`repro.topology.mutate.without_links_mapped` reports the
+        old->new mapping); before a running engine built on the
+        *original* graph can use them, link ids must be translated
+        back.  Switch and host ids are preserved by the mutation, so
+        only ``links`` tuples and the orientation's per-link "up" ends
+        change.  Ids absent from the map (the dead cables, in the
+        reconfiguration case) get an impossible up end of ``-1`` -- no
+        remapped route crosses them, so legality checks never consult
+        those slots.  Raises :class:`KeyError` when a route crosses a
+        link the map does not cover.
+        """
+        leg_cache: Dict[RouteLeg, RouteLeg] = {}
+
+        def remap_leg(leg: RouteLeg) -> RouteLeg:
+            out = leg_cache.get(leg)
+            if out is None:
+                out = RouteLeg(leg.switches,
+                               tuple(link_map[l] for l in leg.links))
+                leg_cache[leg] = out
+            return out
+
+        routes = {
+            pair: tuple(SourceRoute(tuple(remap_leg(leg)
+                                          for leg in r.legs),
+                                    r.itb_hosts)
+                        for r in alts)
+            for pair, alts in self.routes.items()}
+        up_end = [-1] * (max(link_map.values()) + 1 if link_map else 0)
+        for cur, out in link_map.items():
+            up_end[out] = self.orientation.up_end[cur]
+        orientation = UpDownOrientation(self.orientation.tree,
+                                        tuple(up_end))
+        return RoutingTables(self.scheme, self.root, orientation, routes)
 
     def validate(self, g: NetworkGraph) -> None:
         """Assert structural soundness of every route.

@@ -26,21 +26,28 @@ provides the shared event queue.
 from __future__ import annotations
 
 from .base import (ALL_CAPABILITIES, CAP_DYNAMIC_FAULTS, CAP_ITB_POOL,
-                   CAP_LINK_STATS, CAP_TRACE, ItbStats, LinkChannelStats,
-                   NetworkModel, UnsupportedCapability)
+                   CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
+                   ItbStats, LinkChannelStats, NetworkModel,
+                   UnsupportedCapability)
 from .engine import Simulator, DeadlockError
 from .faults import FaultPlan, LinkFault
 from .engines import (available_engines, engine_capabilities, get_engine,
                       make_network, register, unregister)
+from .nic import MessageSequencer
 from .packet import Packet
 from .network import WormholeNetwork
 from .flitlevel import FlitLevelNetwork
+from .reliable import (ReconfigParams, ReconfigurationManager,
+                       ReliableParams, ReliableTransport)
 from .trace import PacketTracer, TraceEvent, format_trace
 
 __all__ = ["Simulator", "DeadlockError", "Packet", "NetworkModel",
            "UnsupportedCapability", "LinkChannelStats", "ItbStats",
            "ALL_CAPABILITIES", "CAP_LINK_STATS", "CAP_ITB_POOL",
-           "CAP_TRACE", "CAP_DYNAMIC_FAULTS", "FaultPlan", "LinkFault",
+           "CAP_TRACE", "CAP_DYNAMIC_FAULTS", "CAP_RELIABLE_DELIVERY",
+           "FaultPlan", "LinkFault", "MessageSequencer",
+           "ReliableParams", "ReliableTransport", "ReconfigParams",
+           "ReconfigurationManager",
            "register", "unregister", "available_engines",
            "engine_capabilities", "get_engine", "make_network",
            "WormholeNetwork", "FlitLevelNetwork", "PacketTracer",

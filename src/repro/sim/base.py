@@ -44,6 +44,8 @@ from .packet import Packet
 from .trace import PacketTracer
 
 DeliveryCallback = Callable[[Packet], None]
+DropCallback = Callable[[Packet, int], None]
+LinkDeathCallback = Callable[[int, int], None]
 
 #: engine can report per-directed-channel flit/reservation statistics
 CAP_LINK_STATS = "link_stats"
@@ -56,10 +58,16 @@ CAP_TRACE = "trace"
 #: .FaultPlan`): dead channels drop the worms they strand, NICs
 #: blacklist routes crossing dead links
 CAP_DYNAMIC_FAULTS = "dynamic_faults"
+#: engine exposes the hooks an end-to-end reliability layer needs:
+#: in-flight drop notification, forced route selection for
+#: retransmissions, and mid-run route-table hot swap
+#: (:class:`~repro.sim.reliable.ReliableTransport`)
+CAP_RELIABLE_DELIVERY = "reliable_delivery"
 
 #: every capability a backend may declare
 ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
-                              CAP_DYNAMIC_FAULTS})
+                              CAP_DYNAMIC_FAULTS,
+                              CAP_RELIABLE_DELIVERY})
 
 
 class UnsupportedCapability(RuntimeError):
@@ -137,12 +145,19 @@ class NetworkModel(ABC):
         self.dropped_unroutable = 0
         #: cable ids killed by the fault plan so far
         self.dead_links: Set[int] = set()
+        #: when False, NICs keep using the installed tables verbatim
+        #: even while links are dead -- the reconfiguration policy
+        #: replaces the tables instead of filtering them
+        #: (:class:`~repro.sim.reliable.ReconfigurationManager`)
+        self.blacklist_on_fault = True
         #: (src_sw, dst_sw) -> surviving alternatives; rebuilt lazily
         #: and flushed on every link death
         self._routable_cache: Dict[Tuple[int, int],
                                    List[SourceRoute]] = {}
         self._next_pid = 0
         self._delivery_callbacks: List[DeliveryCallback] = []
+        self._drop_callbacks: List[DropCallback] = []
+        self._link_death_callbacks: List[LinkDeathCallback] = []
         #: optional :class:`~repro.sim.trace.PacketTracer`; engines
         #: without :data:`CAP_TRACE` reject assignment (see setter)
         self._tracer: Optional[PacketTracer] = None
@@ -220,8 +235,21 @@ class NetworkModel(ABC):
         """``cb(packet)`` runs at the instant a packet is fully delivered."""
         self._delivery_callbacks.append(cb)
 
+    def add_drop_callback(self, cb: DropCallback) -> None:
+        """``cb(packet, t_ps)`` runs when a packet dies in flight
+        (requires :data:`CAP_RELIABLE_DELIVERY`)."""
+        self.require(CAP_RELIABLE_DELIVERY)
+        self._drop_callbacks.append(cb)
+
+    def add_link_death_callback(self, cb: LinkDeathCallback) -> None:
+        """``cb(link_id, t_ps)`` runs when a fault plan kills a cable
+        (requires :data:`CAP_DYNAMIC_FAULTS`)."""
+        self.require(CAP_DYNAMIC_FAULTS)
+        self._link_death_callbacks.append(cb)
+
     def send(self, src_host: int, dst_host: int,
-             nbytes: Optional[int] = None) -> Optional[Packet]:
+             nbytes: Optional[int] = None,
+             route_index: Optional[int] = None) -> Optional[Packet]:
         """Hand a message to ``src_host``'s NIC at the current sim time.
 
         ``nbytes`` overrides the network's default message size (the
@@ -229,10 +257,17 @@ class NetworkModel(ABC):
         when dead links (see :meth:`install_fault_plan`) leave the pair
         without a surviving route: the message is refused at the source
         and counted in ``dropped_unroutable``.
+
+        ``route_index`` forces the alternative with that table index
+        (modulo the number of alternatives) instead of asking the path
+        selection policy -- the reliability layer uses this to fail a
+        retransmission over to the *next* route after repeated
+        timeouts, bypassing the blacklist so the attempt probes the
+        fabric as the transport sees it.
         """
         if src_host == dst_host:
             raise ValueError("a host does not send messages to itself")
-        selected = self._select_route(src_host, dst_host)
+        selected = self._select_route(src_host, dst_host, route_index)
         if selected is None:
             self.generated += 1
             self.dropped += 1
@@ -254,6 +289,12 @@ class NetworkModel(ABC):
     def in_flight(self) -> int:
         return self.generated - self.delivered - self.dropped
 
+    @property
+    def dropped_in_flight(self) -> int:
+        """Packets that died *inside* the fabric (stranded on a dying
+        link), as opposed to refusals at the source NIC."""
+        return self.dropped - self.dropped_unroutable
+
     def install_watchdog(self, interval_ps: int) -> None:
         """Abort with :class:`DeadlockError` when packets are in flight
         but nothing was delivered for a whole ``interval_ps``."""
@@ -269,6 +310,22 @@ class NetworkModel(ABC):
     def reset_stats(self) -> None:
         """End-of-warm-up reset of the engine's statistics."""
         self._reset_engine_stats()
+
+    def swap_tables(self, tables: RoutingTables) -> None:
+        """Hot-swap the NIC route tables mid-run
+        (requires :data:`CAP_RELIABLE_DELIVERY`).
+
+        Packets already in flight keep the routes their headers were
+        built with (source routing: the path is committed at
+        injection); every later :meth:`send` uses the new tables.  The
+        tables must be expressed in *this* graph's link ids -- when
+        they were computed on a mutated copy, remap them first
+        (:meth:`repro.routing.table.RoutingTables.with_remapped_links`).
+        """
+        self.require(CAP_RELIABLE_DELIVERY)
+        self.tables = tables
+        self._routable_cache.clear()
+        self._trace("reconfig", -1, -1, 0)
 
     # -- dynamic faults ----------------------------------------------------
 
@@ -295,6 +352,8 @@ class NetworkModel(ABC):
         self._routable_cache.clear()
         self._trace("link_down", -1, self.graph.links[link_id].a, 0)
         self._kill_link(link_id)
+        for cb in self._link_death_callbacks:
+            cb(link_id, self.sim.now)
 
     def _kill_link(self, link_id: int) -> None:
         """Engine hook: tear down the cable's directed channels and drop
@@ -311,18 +370,27 @@ class NetworkModel(ABC):
         # not deadlocked, it is shedding stranded worms
         self.delivered_since_check += 1
         self._trace("drop", pkt.pid, pkt.dst_host, 0, t_ps=t_ps)
+        for cb in self._drop_callbacks:
+            cb(pkt, t_ps)
 
     # -- shared internals --------------------------------------------------
 
-    def _select_route(self, src_host: int,
-                      dst_host: int) -> Optional[Tuple[SourceRoute, int]]:
+    def _select_route(self, src_host: int, dst_host: int,
+                      route_index: Optional[int] = None,
+                      ) -> Optional[Tuple[SourceRoute, int]]:
         """The route for the next packet of a pair and its alternative
         index (carried on the packet for policy feedback), or ``None``
         when every alternative crosses a dead link."""
         src_sw = self.graph.host_switch(src_host)
         dst_sw = self.graph.host_switch(dst_host)
         alts = self.tables.alternatives(src_sw, dst_sw)
-        if not self.dead_links:
+        if route_index is not None:
+            # forced selection (reliability-layer failover): no
+            # blacklist filtering -- the retransmission itself is the
+            # probe of whether the route still works
+            i = route_index % len(alts)
+            return alts[i], i
+        if not self.dead_links or not self.blacklist_on_fault:
             if len(alts) == 1:
                 return alts[0], 0
             i = self.policy.select_index(src_host, dst_host, alts)

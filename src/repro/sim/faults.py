@@ -72,6 +72,22 @@ class FaultPlan:
     def __bool__(self) -> bool:
         return bool(self.faults)
 
+    @property
+    def first_t_ps(self) -> int:
+        """Instant of the earliest fault (the plan must be non-empty).
+
+        Recovery metrics anchor on this: time-to-recover is measured
+        from the moment the fabric first changes.
+        """
+        if not self.faults:
+            raise ValueError("empty fault plan has no first fault")
+        return self.faults[0].t_ps
+
+    @property
+    def link_ids(self) -> Tuple[int, ...]:
+        """All cables the plan kills, in failure order."""
+        return tuple(f.link_id for f in self.faults)
+
     def to_dict(self) -> dict:
         return {"faults": [{"t_ps": f.t_ps, "link_id": f.link_id}
                            for f in self.faults]}

@@ -41,7 +41,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..config import MyrinetParams
 from .arbiter import RoundRobinArbiter
 from .base import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
-                   CAP_TRACE, ItbStats, LinkChannelStats, NetworkModel)
+                   CAP_RELIABLE_DELIVERY, CAP_TRACE, ItbStats,
+                   LinkChannelStats, NetworkModel)
 from .engine import Simulator
 from .engines import register
 from .nic import ItbPool
@@ -163,7 +164,7 @@ class _RxBuffer:
 
     __slots__ = ("net", "sim", "params", "wire", "switch", "nic",
                  "occupancy", "stopped", "queue", "channel_key",
-                 "consumer")
+                 "consumers")
 
     def __init__(self, net: "FlitLevelNetwork", wire: _Wire,
                  channel_key: int, switch: int = -1, nic: int = -1) -> None:
@@ -178,8 +179,13 @@ class _RxBuffer:
         self.stopped = False
         self.queue: Deque[Flit] = deque()
         self.channel_key = channel_key
-        #: output port currently pulling from this buffer (switch only)
-        self.consumer: Optional["_OutputPort"] = None
+        #: output ports currently pulling from this buffer (switch
+        #: only).  More than one can be registered at a time: a granted
+        #: header queued behind another packet's tail pulls from the
+        #: same buffer as the port still streaming that tail, so wakes
+        #: must reach every puller (a wake to a port whose flits are
+        #: not at the front is a cheap no-op)
+        self.consumers: List["_OutputPort"] = []
 
     def receive(self, flit: Flit) -> None:
         dropped = self.net._dropped_pids
@@ -201,8 +207,9 @@ class _RxBuffer:
             self.wire.send_ctrl(stop=True)
         if first:
             self.net._header_at_switch(self, pkt, leg_idx)
-        elif self.consumer is not None:
-            self.consumer.wake()
+        else:
+            for consumer in self.consumers:
+                consumer.wake()
 
     def pop_for(self, pkt: Packet) -> Optional[Flit]:
         """Take the front flit if it belongs to ``pkt``."""
@@ -233,6 +240,10 @@ class _RxBuffer:
                 and self.occupancy < self.params.go_threshold_bytes):
             self.stopped = False
             self.wire.send_ctrl(stop=False)
+        # the purge may have exposed another packet's flits at the
+        # front; its granted port would otherwise sleep forever
+        for consumer in self.consumers:
+            consumer.wake()
 
     def reset_stats(self) -> None:  # occupancy is state, nothing to reset
         pass
@@ -265,7 +276,8 @@ class _OutputPort(_TxPort):
     def _granted(self, buf: _RxBuffer, pkt: Packet, leg_idx: int) -> None:
         self.packet = pkt
         self.src_buffer = buf
-        buf.consumer = self
+        if self not in buf.consumers:
+            buf.consumers.append(self)
         self.granted_ps = self.sim.now
         if self.net._tracer is not None:
             self.net._trace("grant", pkt.pid, self.node, leg_idx)
@@ -291,7 +303,8 @@ class _OutputPort(_TxPort):
         # measurement window only reserved the port inside the window
         self.reserved_ps += self.sim.now - max(self.granted_ps,
                                                self.net._stats_reset_ps)
-        self.src_buffer.consumer = None
+        if self in self.src_buffer.consumers:
+            self.src_buffer.consumers.remove(self)
         self.packet = None
         self.src_buffer = None
         self.arbiter.release(pkt)
@@ -301,8 +314,9 @@ class _OutputPort(_TxPort):
         assert self.packet is pkt
         self.reserved_ps += self.sim.now - max(self.granted_ps,
                                                self.net._stats_reset_ps)
-        if self.src_buffer is not None:
-            self.src_buffer.consumer = None
+        if (self.src_buffer is not None
+                and self in self.src_buffer.consumers):
+            self.src_buffer.consumers.remove(self)
         self.packet = None
         self.src_buffer = None
         self.arbiter.release(pkt)
@@ -363,7 +377,8 @@ class FlitLevelNetwork(NetworkModel):
     :class:`~repro.sim.base.NetworkModel` surface and capability set)."""
 
     CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
-                              CAP_DYNAMIC_FAULTS})
+                              CAP_DYNAMIC_FAULTS,
+                              CAP_RELIABLE_DELIVERY})
 
     # -- construction ----------------------------------------------------
 

@@ -18,11 +18,54 @@ Each host owns one NIC with
 The pool accounting itself is engine-independent
 (:class:`ItbPool`): the packet-level engine uses it through
 :class:`Nic`, the flit-level engine holds one bare pool per host.
+
+:class:`MessageSequencer` is the other engine-independent piece of NIC
+state: per-destination send sequence numbers and the receiver-side
+duplicate-suppression window that the reliability layer
+(:mod:`repro.sim.reliable`) builds on -- GM keeps exactly this state on
+the Myrinet NIC itself.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Set, Tuple
+
 from .channel import Channel
+
+
+class MessageSequencer:
+    """Per-pair message sequence numbers plus duplicate suppression.
+
+    One instance covers the whole fabric (it is keyed by the ordered
+    ``(src_host, dst_host)`` pair), mirroring the per-connection send
+    and receive state GM keeps on each NIC.  ``next_seq`` allocates the
+    sender-side sequence number for a new message; ``accept`` is the
+    receiver-side check that returns ``True`` exactly once per
+    ``(src, dst, seq)`` triple, so retransmitted copies that arrive
+    after the original are recognised and discarded.
+    """
+
+    __slots__ = ("_next_seq", "_seen")
+
+    def __init__(self) -> None:
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+        self._seen: Dict[Tuple[int, int], Set[int]] = {}
+
+    def next_seq(self, src_host: int, dst_host: int) -> int:
+        """Allocate the next send sequence number for a pair."""
+        key = (src_host, dst_host)
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        return seq
+
+    def accept(self, src_host: int, dst_host: int, seq: int) -> bool:
+        """Receiver-side duplicate check: ``True`` on first sight of
+        the triple, ``False`` for every later (duplicate) copy."""
+        seen = self._seen.setdefault((src_host, dst_host), set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        return True
 
 
 class ItbPool:

@@ -11,6 +11,14 @@ recorded:
 * ``reinject`` -- granted an injection channel at an in-transit host;
 * ``deliver``  -- tail received by the destination NIC.
 
+Fault-time events use the same record with ``pid=-1`` where no single
+packet is involved:
+
+* ``drop``       -- the packet died on a failed link;
+* ``unroutable`` -- refused at the source (no surviving route);
+* ``link_down``  -- a cable failed (node is the link's ``a`` switch);
+* ``reconfig``   -- the NIC routing tables were hot-swapped.
+
 Tracing is opt-in and filtered by packet id, so paper-scale runs pay a
 single predicate per event when enabled and nothing when not.  The
 trace is plain data (list of :class:`TraceEvent`), renderable with
@@ -50,7 +58,8 @@ class PacketTracer:
     number of stored events as a safety net.
     """
 
-    VALID_EVENTS = {"inject", "grant", "eject", "reinject", "deliver"}
+    VALID_EVENTS = {"inject", "grant", "eject", "reinject", "deliver",
+                    "drop", "unroutable", "link_down", "reconfig"}
 
     def __init__(self, pids: Optional[Iterable[int]] = None,
                  limit: int = 100_000) -> None:

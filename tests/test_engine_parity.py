@@ -21,7 +21,7 @@ from repro.routing.policies import make_policy
 from repro.routing.routes import RouteLeg, SourceRoute
 from repro.routing.table import RoutingTables, compute_tables
 from repro.sim import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
-                       CAP_TRACE,
+                       CAP_RELIABLE_DELIVERY, CAP_TRACE,
                        NetworkModel, PacketTracer, Simulator,
                        UnsupportedCapability, available_engines,
                        engine_capabilities, get_engine, make_network,
@@ -83,7 +83,7 @@ class TestRegistry:
         for name in ENGINES:
             assert engine_capabilities(name) == frozenset(
                 {CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
-                 CAP_DYNAMIC_FAULTS})
+                 CAP_DYNAMIC_FAULTS, CAP_RELIABLE_DELIVERY})
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):

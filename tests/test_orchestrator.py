@@ -131,6 +131,63 @@ class TestWorkerPoolParallel:
         assert "timed out" in results[0].error
 
 
+class TestRetryBackoff:
+    def test_zero_backoff_means_no_delay(self):
+        pool = WorkerPool(workers=2)
+        assert pool._retry_delay_s(1) == 0.0
+        assert pool._retry_delay_s(5) == 0.0
+
+    def test_delay_doubles_and_jitter_is_bounded(self):
+        pool = WorkerPool(workers=2, retry_backoff_s=0.5,
+                          retry_jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = 0.5 * 2 ** (attempt - 1)
+            for _ in range(20):
+                d = pool._retry_delay_s(attempt)
+                assert base <= d <= base * 1.5
+
+    def test_no_jitter_is_deterministic(self):
+        pool = WorkerPool(workers=2, retry_backoff_s=1.0,
+                          retry_jitter=0.0)
+        assert pool._retry_delay_s(1) == 1.0
+        assert pool._retry_delay_s(3) == 4.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            WorkerPool(retry_backoff_s=-1.0)
+        with pytest.raises(ValueError, match="retry_jitter"):
+            WorkerPool(retry_jitter=-0.1)
+
+    def test_crash_retry_waits_out_the_backoff(self, tmp_path):
+        pool = WorkerPool(workers=2, retries=1, retry_backoff_s=0.5,
+                          retry_jitter=0.0)
+        flag = str(tmp_path / "flag")
+        t0 = time.monotonic()
+        results = pool.run([Task("t", f"{_HERE}:crash_once_task",
+                                 {"flag": flag})])
+        assert results[0].ok
+        assert results[0].attempts == 2
+        assert time.monotonic() - t0 >= 0.5
+
+    def test_backoff_does_not_stall_other_tasks(self, tmp_path):
+        """While one task sits out its backoff, fresh tasks keep
+        launching."""
+        pool = WorkerPool(workers=2, retries=1, retry_backoff_s=1.0,
+                          retry_jitter=0.0)
+        flag = str(tmp_path / "flag")
+        tasks = [Task("crash", f"{_HERE}:crash_once_task",
+                      {"flag": flag})] + \
+            [Task(f"ok{i}", f"{_HERE}:double_task", {"x": i})
+             for i in range(4)]
+        results = pool.run(tasks)
+        assert all(r.ok for r in results)
+        assert results[0].attempts == 2
+
+    def test_executor_threads_backoff_through(self):
+        executor = Executor(workers=2, retry_backoff_s=1.5)
+        assert executor.pool.retry_backoff_s == 1.5
+
+
 def _count_calls(monkeypatch):
     """Wrap the pool's run_simulation with a call counter (only
     observable on the in-process path, which is exactly the point:

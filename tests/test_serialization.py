@@ -16,6 +16,9 @@ from repro.canon import canonical_json, digest, freeze
 from repro.config import MyrinetParams, SimConfig
 from repro.experiments.runner import run_simulation
 from repro.metrics.summary import RunSummary
+from repro.orchestrator import Executor, Point, ResultStore
+from repro.sim import FaultPlan, ReconfigParams, ReliableParams
+from repro.units import ns
 from tests.conftest import small_config
 
 
@@ -109,3 +112,53 @@ class TestSummaryRoundTrip:
         data["mystery"] = 1
         with pytest.raises(ValueError, match="unknown"):
             RunSummary.from_dict(data)
+
+
+class TestFaultPlanThroughStore:
+    """A fault plan rides in a point's runner kwargs; the orchestrator
+    persists the payload as JSON.  The round trip through the result
+    store must reproduce the plan exactly, and the plan must key the
+    cache (same config, different plan -> different entry)."""
+
+    PLAN = FaultPlan.at((ns(20_000), 3), (ns(30_000), 7))
+
+    def test_plan_dict_round_trip(self):
+        back = FaultPlan.from_dict(_json_round(self.PLAN.to_dict()))
+        assert back == self.PLAN
+
+    def test_reliability_params_json_round_trip(self):
+        rel = ReliableParams(timeout_ps=ns(7_000), backoff=1.5)
+        rec = ReconfigParams(detection_latency_ps=ns(2_000))
+        assert ReliableParams.from_dict(_json_round(rel.to_dict())) == rel
+        assert ReconfigParams.from_dict(_json_round(rec.to_dict())) == rec
+
+    def test_stored_point_reproduces_plan(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cfg = small_config(measure_ps=ns(40_000))
+        point = Point(point_id="p0", config=cfg,
+                      runner_kwargs={"fault_plan": self.PLAN.to_dict()})
+        executor = Executor(store=store)
+        summary = executor.run_points([point])[0]
+        assert executor.stats.simulated == 1
+        key = store.key("repro.orchestrator.pool:run_point_task",
+                        point.payload())
+        record = store.get(key)
+        assert record is not None
+        stored = FaultPlan.from_dict(
+            record["payload"]["runner_kwargs"]["fault_plan"])
+        assert stored == self.PLAN
+        assert RunSummary.from_dict(record["result"]) == summary
+        # rerun is a pure cache hit with an identical summary
+        again = Executor(store=store).run_points([point])[0]
+        assert again == summary
+
+    def test_plan_distinguishes_cache_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cfg = small_config(measure_ps=ns(40_000))
+        fn = "repro.orchestrator.pool:run_point_task"
+        with_plan = Point(point_id="a", config=cfg,
+                          runner_kwargs={"fault_plan":
+                                         self.PLAN.to_dict()})
+        without = Point(point_id="b", config=cfg)
+        assert store.key(fn, with_plan.payload()) != \
+            store.key(fn, without.payload())

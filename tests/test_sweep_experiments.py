@@ -68,13 +68,14 @@ class TestRegistry:
     def test_all_artifacts_registered(self):
         expected = {"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10a",
                     "fig10b", "fig11", "fig12a", "fig12b", "fig12c",
-                    "table1", "table2", "table3", "resilience"}
+                    "table1", "table2", "table3", "resilience", "recovery"}
         assert set(EXPERIMENTS) == expected
 
     def test_kinds(self):
         assert EXPERIMENTS["fig7a"].kind == "latency-panel"
         assert EXPERIMENTS["fig8"].kind == "link-map"
         assert EXPERIMENTS["table1"].kind == "hotspot-table"
+        assert EXPERIMENTS["recovery"].kind == "recovery-table"
 
     def test_unknown_experiment(self):
         with pytest.raises(ValueError):

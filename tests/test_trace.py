@@ -138,3 +138,19 @@ class TestTracedSimulation:
         sim, net = traced_network(ring4, tables, None)
         net.send(0, 2)
         sim.run_until_idle()  # must simply not crash
+
+    def test_fault_events_traceable(self, ring4):
+        """A traced run with a link death records the fault-time
+        events (``link_down``, ``drop``) instead of rejecting them."""
+        from repro.sim import FaultPlan
+        from repro.units import ns
+        tables = compute_tables(ring4, "itb")
+        tracer = PacketTracer()
+        sim, net = traced_network(ring4, tables, tracer)
+        pkt = net.send(0, 4)
+        net.install_fault_plan(FaultPlan.at((ns(400),
+                                             pkt.route.link_ids[0])))
+        sim.run_until_idle(max_time_ps=ns(10_000_000))
+        events = {e.event for e in tracer.events}
+        assert "link_down" in events
+        assert "drop" in events
