@@ -26,6 +26,14 @@ Commands
     compares the static blacklist against online reconfiguration
     (``--strict`` fails on permanent losses, for CI smokes).
 
+``tournament``
+    Cross-scheme arena: every (scheme, topology, traffic pattern) cell
+    measured for saturation throughput, latency knee, p99 latency and
+    (with ``--failures``) retention under link failures.
+
+``schemes``
+    The routing-scheme registry with capability declarations.
+
 ``list``
     The experiment registry.
 
@@ -65,6 +73,8 @@ from .orchestrator import (DEFAULT_CACHE_DIR, Executor, ProgressReporter,
 from .resilience import (render_recovery_table, render_resilience_table,
                          run_recovery, run_resilience)
 from .routing.analysis import route_statistics
+from .routing.schemes import (available_schemes, describe_schemes,
+                              supported_schemes)
 from .sim.engines import available_engines
 from .units import ns
 
@@ -77,7 +87,8 @@ GRIDS = {"torus": (8, 8), "torus-express": (8, 8)}
 def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--topology", default="torus",
                    choices=["torus", "torus-express", "cplant", "irregular", "mesh"])
-    p.add_argument("--routing", default="itb", choices=["updown", "itb"])
+    p.add_argument("--routing", default="itb",
+                   choices=list(available_schemes()))
     p.add_argument("--policy", default="rr",
                    choices=["sp", "rr", "random", "adaptive"])
     p.add_argument("--traffic", default="uniform",
@@ -166,7 +177,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     degrees = sorted({g.degree(s) for s in g.switches()})
     diameter = max(max(r) for r in g.all_pairs_distances())
     print(f"switch degrees {degrees}, diameter {diameter}")
-    for scheme in ("updown", "itb"):
+    for scheme in supported_schemes(g):
         st = route_statistics(g, get_tables(g, (args.topology, ()), scheme))
         print(f"{scheme:7s}: {st.fraction_minimal:6.1%} minimal, "
               f"avg distance {st.avg_distance_sp:.2f}, "
@@ -246,6 +257,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(render_resilience_table(result))
     elif exp.kind == "recovery-table":
         print(render_recovery_table(result))
+    elif exp.kind == "tournament-table":
+        from .experiments.tournament import render_tournament
+        print(render_tournament(result))
     else:
         print(render_hotspot_table(result))
     if executor is not None:
@@ -292,6 +306,49 @@ def cmd_recovery(args: argparse.Namespace) -> int:
                   f"reconfigure policy (expected zero: the fault leaves "
                   f"the fabric connected)", file=sys.stderr)
             return 1
+    return 0
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    for name, s in describe_schemes():
+        caps = [s.discipline,
+                "deadlock-free" if s.deadlock_free else "NOT deadlock-free",
+                "multipath" if s.multipath else "single-path"]
+        print(f"{name:12s} {', '.join(caps)}")
+        print(f"{'':12s} {s.description}")
+        print(f"{'':12s} topologies: {s.topology_note}")
+    return 0
+
+
+def cmd_tournament(args: argparse.Namespace) -> int:
+    from .experiments.tournament import (TopologySpec, default_entries,
+                                         render_tournament, run_tournament)
+    profile: Profile = PROFILES[args.profile]
+    schemes = (None if args.schemes == "all"
+               else [s.strip() for s in args.schemes.split(",")])
+    entries = default_entries(schemes)
+    topo_kwargs = {"rows": args.rows, "cols": args.cols,
+                   "hosts_per_switch": args.hosts_per_switch}
+    topologies = []
+    for name in (t.strip() for t in args.topologies.split(",")):
+        kwargs = dict(topo_kwargs) if name in ("torus", "torus-express",
+                                               "mesh") else {}
+        label = (f"{name} {args.rows}x{args.cols}" if kwargs else name)
+        topologies.append(TopologySpec(name, kwargs, label))
+    patterns = tuple(p.strip() for p in args.patterns.split(","))
+    executor = _make_executor(args)
+    report = run_tournament(entries, topologies, patterns, profile,
+                            seed=args.seed, failures=args.failures,
+                            start_rate=args.start_rate,
+                            executor=executor)
+    print(render_tournament(report))
+    if executor is not None:
+        print(f"points: {executor.stats.oneline()}", file=sys.stderr)
+    if args.json:
+        import json
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"JSON artifact written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -389,6 +446,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "reports permanent losses (CI smoke)")
     _add_exec_options(p)
     p.set_defaults(fn=cmd_recovery)
+
+    p = sub.add_parser("tournament",
+                       help="cross-scheme tournament: every scheme x "
+                            "topology x traffic pattern")
+    p.add_argument("--schemes", default="all",
+                   help="comma-separated scheme names (default: every "
+                        "registered scheme); see 'repro schemes'")
+    p.add_argument("--topologies", default="torus,mesh",
+                   help="comma-separated topology names")
+    p.add_argument("--rows", type=int, default=4,
+                   help="grid rows for torus/torus-express/mesh "
+                        "(scaled down by default: each cell is a full "
+                        "saturation search)")
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument("--hosts-per-switch", type=int, default=2)
+    p.add_argument("--patterns", default="uniform",
+                   help="comma-separated traffic patterns")
+    p.add_argument("--failures", type=int, default=0,
+                   help="links to kill for the retention column "
+                        "(0 = skip the degraded searches)")
+    p.add_argument("--start-rate", type=float, default=0.005,
+                   help="initial offered load of the saturation ramps")
+    p.add_argument("--seed", type=int, default=1,
+                   help="traffic and failure sets are functions of the "
+                        "seed: repeat invocations are identical")
+    p.add_argument("--profile", default="bench", choices=sorted(PROFILES))
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the full report as a JSON artifact")
+    _add_exec_options(p)
+    p.set_defaults(fn=cmd_tournament)
+
+    p = sub.add_parser("schemes",
+                       help="list registered routing schemes and their "
+                            "capability declarations")
+    p.set_defaults(fn=cmd_schemes)
 
     p = sub.add_parser("list", help="list paper artefacts")
     p.set_defaults(fn=cmd_list)

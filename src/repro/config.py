@@ -116,11 +116,12 @@ class SimConfig:
 
     ``topology`` names a builder registered in :mod:`repro.topology`
     (``"torus"``, ``"torus-express"``, ``"cplant"``, ``"irregular"``) and
-    ``topology_kwargs`` are forwarded to it.  ``routing`` selects the route
-    computation (``"updown"`` for the simple_routes baseline, ``"itb"`` for
-    minimal routing with in-transit buffers) and ``policy`` the path
-    selection among alternatives (``"sp"``, ``"rr"``, ``"random"``;
-    UP/DOWN always has a single path so the policy is irrelevant there).
+    ``topology_kwargs`` are forwarded to it.  ``routing`` names a scheme
+    registered in :mod:`repro.routing.schemes` (``"updown"`` and
+    ``"itb"`` are the paper's; ``"updown-opt"``, ``"outflank"`` and
+    ``"dor"`` are extension rivals) and ``policy`` the path selection
+    among alternatives (``"sp"``, ``"rr"``, ``"random"``,
+    ``"adaptive"``; single-path schemes ignore it).
 
     ``injection_rate`` is offered load in **flits/ns/switch**, the unit of
     the paper's plots; each host generates fixed-size messages at constant
@@ -160,8 +161,12 @@ class SimConfig:
             raise ValueError("message_bytes must be positive")
         if self.warmup_ps < 0 or self.measure_ps <= 0:
             raise ValueError("warmup must be >= 0 and measure window > 0")
-        if self.routing not in ("updown", "itb"):
-            raise ValueError(f"unknown routing scheme {self.routing!r}")
+        # imported lazily: repro.routing imports this module at load time
+        from .routing.schemes import available_schemes
+        if self.routing not in available_schemes():
+            raise ValueError(
+                f"unknown routing scheme {self.routing!r}; available: "
+                f"{', '.join(available_schemes())}")
         if self.policy not in ("sp", "rr", "random", "adaptive"):
             raise ValueError(f"unknown selection policy {self.policy!r}")
         # imported lazily: repro.sim imports this module at load time
@@ -172,10 +177,16 @@ class SimConfig:
                 f"{', '.join(available_engines())}")
 
     def label(self) -> str:
-        """Short human-readable label (used in reports and benches)."""
-        if self.routing == "updown":
-            return "UP/DOWN"
-        return f"ITB-{self.policy.upper()}"
+        """Short human-readable label (used in reports and benches).
+
+        Delegates to the scheme registry so new schemes carry their own
+        labels; unregistered names (tests) fall back to the raw name.
+        """
+        from .routing.schemes import scheme_label
+        try:
+            return scheme_label(self.routing, self.policy)
+        except ValueError:
+            return self.routing
 
     def with_overrides(self, **kw: Any) -> "SimConfig":
         """Return a copy with the given fields replaced."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
-from . import figures, tables
+from . import figures, tables, tournament
 from ..resilience import campaign as resilience_campaign
 from ..resilience import recovery as resilience_recovery
 from .profiles import Profile
@@ -23,6 +23,7 @@ class Experiment:
     exp_id: str
     kind: str  # "latency-panel" | "link-map" | "hotspot-table"
                # | "resilience-table" | "recovery-table"
+               # | "tournament-table"
     description: str
     fn: Callable[[Profile], Any]
 
@@ -69,6 +70,10 @@ _register("resilience", "resilience-table",
 _register("recovery", "recovery-table",
           "Reliable-delivery recovery from a mid-run link failure, "
           "4x4 torus", resilience_recovery.torus_recovery)
+_register("tournament", "tournament-table",
+          "Every registered scheme x {torus, mesh} x {uniform, "
+          "bit-reversal} with failure retention",
+          tournament.default_tournament)
 
 
 def run_experiment(exp_id: str, profile: Profile,

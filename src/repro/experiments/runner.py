@@ -95,11 +95,15 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                    fault_plan: Optional[Any] = None,
                    reliable: Optional[Any] = None,
                    reconfig: Optional[Any] = None,
-                   recovery_threshold: float = 0.9) -> RunSummary:
+                   recovery_threshold: float = 0.9,
+                   collect_percentiles: bool = False) -> RunSummary:
     """Execute one simulation run described by ``config``.
 
     ``collect_links`` additionally gathers the per-link utilisation
-    snapshot (Figures 8/9/11).  ``tables`` lets callers inject
+    snapshot (Figures 8/9/11).  ``collect_percentiles`` keeps every
+    per-message latency sample so the summary carries
+    ``p99_latency_ns`` (costs one list append per delivery; off by
+    default to keep long runs lean).  ``tables`` lets callers inject
     custom routing tables (the deadlock-demonstration tests route
     *without* ITBs on purpose); by default they are derived from
     ``config.routing``.  ``graph`` overrides the topology lookup with a
@@ -132,7 +136,7 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
         return _run_simulation(config, collect_links, root, sort_by_itbs,
                                watchdog_ps, tables, graph, perf,
                                fault_plan, reliable, reconfig,
-                               recovery_threshold)
+                               recovery_threshold, collect_percentiles)
 
 
 def _coerce(value: Any, cls: type) -> Any:
@@ -153,7 +157,8 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                     fault_plan: Optional[Any] = None,
                     reliable: Optional[Any] = None,
                     reconfig: Optional[Any] = None,
-                    recovery_threshold: float = 0.9) -> RunSummary:
+                    recovery_threshold: float = 0.9,
+                    collect_percentiles: bool = False) -> RunSummary:
     t_start = _now()
     config.validate()
     if graph is not None:
@@ -175,7 +180,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     network = make_network(config.engine, sim, g, tables, policy,
                            config.params,
                            message_bytes=config.message_bytes)
-    collector = LatencyCollector()
+    collector = LatencyCollector(keep_samples=collect_percentiles)
     transport = None
     if reliable:
         transport = ReliableTransport(network,
@@ -305,4 +310,6 @@ def _run_simulation(config: SimConfig, collect_links: bool,
         itb_peak_bytes=itb.peak_bytes,
         link_utilization=links,
         backlog_growth=backlog_growth,
+        p99_latency_ns=(collector.percentile_ns(0.99)
+                        if collect_percentiles else None),
     )

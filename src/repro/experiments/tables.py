@@ -56,9 +56,9 @@ class HotspotTable:
 
 
 def _labels() -> List[Tuple[Tuple[str, str], str]]:
-    names = {("updown", "sp"): "UP/DOWN", ("itb", "sp"): "ITB-SP",
-             ("itb", "rr"): "ITB-RR"}
-    return [(rp, names[rp]) for rp in ROUTINGS]
+    from ..routing.schemes import scheme_label
+    return [((routing, policy), scheme_label(routing, policy))
+            for routing, policy in ROUTINGS]
 
 
 def pick_hotspots(topology: str, count: int, seed: int = 7,

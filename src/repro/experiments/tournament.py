@@ -1,0 +1,425 @@
+"""Cross-scheme tournament: every routing scheme against every rival.
+
+The paper compares two schemes on three topologies; the registry makes
+the comparison open-ended.  A *tournament* runs every requested
+``(scheme, topology, traffic pattern)`` cell and reports, per cell:
+
+* **saturation throughput** -- the knee of the accepted-traffic curve
+  (:func:`repro.metrics.saturation.find_saturation`);
+* **knee offered load** -- the highest offered rate whose latency stays
+  within 2x the zero-load latency (:func:`~repro.metrics.saturation
+  .knee_from_runs` over the search's own probe runs, no extra sims);
+* **p99 latency** at a stable operating point (80 % of the last stable
+  rate), from a probe run that keeps per-message samples;
+* optionally **retention**: degraded/healthy throughput after the
+  PR-4 failure sampler kills ``failures`` links (schemes that cannot
+  route the broken fabric -- grid-bound ones lose their geometry --
+  report no retention rather than a crash).
+
+Cells where the scheme's capability declaration rejects the topology
+(e.g. dimension-order routing on an irregular network) are marked
+unsupported up front and never dispatched.  Supported cells are
+independent orchestrator tasks: parallel, checkpointed in the result
+store, restartable; the inline path runs the same task function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimConfig
+from ..metrics.saturation import find_saturation, knee_from_runs
+from ..routing.schemes import available_schemes, get_scheme, scheme_label
+from .profiles import Profile
+from .runner import get_graph, run_simulation
+
+#: fn-path of :func:`tournament_cell_task` for the orchestrator
+TOURNAMENT_TASK_FN = "repro.experiments.tournament:tournament_cell_task"
+
+#: latency multiple (over zero-load) that defines the knee
+KNEE_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One tournament column: a topology builder plus its arguments."""
+
+    name: str
+    kwargs: Dict[str, Any]
+    label: str
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """One tournament row: a scheme with its path-selection policy."""
+
+    routing: str
+    policy: str
+    label: str
+
+
+@dataclass(frozen=True)
+class TournamentCell:
+    """One (scheme, topology, pattern) measurement."""
+
+    routing: str
+    policy: str
+    label: str
+    topology: str
+    pattern: str
+    #: False when the scheme's capability declaration rejects the
+    #: topology; every metric below is meaningless then
+    supported: bool
+    throughput: float = 0.0
+    converged: bool = False
+    #: offered load at the latency knee (None when the sweep never
+    #: produced two stable points to locate one)
+    knee_offered: Optional[float] = None
+    knee_latency_ns: Optional[float] = None
+    knee_bracketed: bool = False
+    #: stable operating point the percentile probe ran at
+    probe_rate: Optional[float] = None
+    p99_latency_ns: Optional[float] = None
+    avg_latency_ns: Optional[float] = None
+    #: saturation throughput on the failure-degraded fabric (None when
+    #: no failures were requested or the scheme cannot route the
+    #: broken graph)
+    degraded_throughput: Optional[float] = None
+    #: degraded / healthy throughput
+    retention: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TournamentReport:
+    """Full tournament outcome: the cross product of the three axes."""
+
+    schemes: Tuple[SchemeEntry, ...]
+    topologies: Tuple[TopologySpec, ...]
+    patterns: Tuple[str, ...]
+    seed: int
+    #: links killed for the retention measurement (0 = skipped)
+    failures: int
+    cells: Tuple[TournamentCell, ...]
+
+    def cell(self, label: str, topology: str,
+             pattern: str) -> TournamentCell:
+        """Look up one cell by (scheme label, topology label, pattern)."""
+        for c in self.cells:
+            if (c.label, c.topology, c.pattern) == (label, topology,
+                                                    pattern):
+                return c
+        raise KeyError((label, topology, pattern))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe artifact (written by ``repro tournament --json``)."""
+        return {
+            "schemes": [asdict(s) for s in self.schemes],
+            "topologies": [asdict(t) for t in self.topologies],
+            "patterns": list(self.patterns),
+            "seed": self.seed,
+            "failures": self.failures,
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+
+def default_entries(schemes: Optional[Sequence[str]] = None
+                    ) -> Tuple[SchemeEntry, ...]:
+    """Scheme entries with their natural policies.
+
+    Multipath schemes compete with round-robin selection (their whole
+    point), single-path schemes with ``"sp"`` (the policy is inert).
+    """
+    names = tuple(schemes) if schemes else available_schemes()
+    entries = []
+    for name in names:
+        s = get_scheme(name)  # raises with the available list on typos
+        policy = "rr" if s.multipath else "sp"
+        entries.append(SchemeEntry(name, policy, scheme_label(name, policy)))
+    return tuple(entries)
+
+
+def pattern_kwargs(pattern: str) -> Dict[str, Any]:
+    """Default traffic kwargs for patterns that require them."""
+    if pattern == "hotspot":
+        return {"hotspot": 0, "fraction": 0.05}
+    if pattern == "local":
+        return {"radius": 2}
+    return {}
+
+
+def _cell_payload(entry: SchemeEntry, topo: TopologySpec, pattern: str,
+                  profile: Profile, start_rate: float, seed: int,
+                  failed_links: Tuple[int, ...]) -> dict:
+    """JSON-safe description of one cell (orchestrator task payload)."""
+    return {
+        "topology": topo.name,
+        "topology_kwargs": dict(topo.kwargs),
+        "routing": entry.routing,
+        "policy": entry.policy,
+        "traffic": pattern,
+        "traffic_kwargs": pattern_kwargs(pattern),
+        "seed": seed,
+        "start_rate": start_rate,
+        "failed_links": list(failed_links),
+        "sat_warmup_ps": profile.sat_warmup_ps,
+        "sat_measure_ps": profile.sat_measure_ps,
+        "growth": profile.sat_growth,
+        "refine_steps": profile.sat_refine_steps,
+        "knee_threshold": KNEE_THRESHOLD,
+    }
+
+
+def tournament_cell_task(payload: dict) -> dict:
+    """Worker function: one cell's searches and probe.
+
+    JSON in, JSON out: the saturation search doubles as the knee sweep
+    (its probe runs *are* a latency-vs-load curve), then one extra run
+    at a stable rate collects per-message samples for the p99.
+    """
+    def cfg_at(rate: float, topology: str,
+               topology_kwargs: dict) -> SimConfig:
+        return SimConfig(
+            topology=topology, topology_kwargs=topology_kwargs,
+            routing=payload["routing"], policy=payload["policy"],
+            traffic=payload["traffic"],
+            traffic_kwargs=payload["traffic_kwargs"],
+            injection_rate=rate,
+            warmup_ps=payload["sat_warmup_ps"],
+            measure_ps=payload["sat_measure_ps"],
+            seed=payload["seed"])
+
+    topo = payload["topology"]
+    topo_kwargs = payload["topology_kwargs"]
+    sat = find_saturation(
+        lambda rate: run_simulation(cfg_at(rate, topo, topo_kwargs)),
+        payload["start_rate"], growth=payload["growth"],
+        refine_steps=payload["refine_steps"])
+    knee = knee_from_runs(sat.runs, payload["knee_threshold"])
+
+    if math.isfinite(sat.last_stable_rate) and sat.last_stable_rate > 0:
+        probe_rate = 0.8 * sat.last_stable_rate
+    else:
+        probe_rate = payload["start_rate"]
+    probe = run_simulation(cfg_at(probe_rate, topo, topo_kwargs),
+                           collect_percentiles=True)
+
+    degraded_throughput = None
+    if payload["failed_links"]:
+        mutated_kwargs = {"base": topo, "base_kwargs": dict(topo_kwargs),
+                          "failed_links": list(payload["failed_links"])}
+        try:
+            degraded = find_saturation(
+                lambda rate: run_simulation(
+                    cfg_at(rate, "mutated", mutated_kwargs)),
+                payload["start_rate"], growth=payload["growth"],
+                refine_steps=payload["refine_steps"])
+            degraded_throughput = degraded.throughput
+        except ValueError:
+            # the scheme cannot route the broken fabric (grid-bound
+            # schemes lose their geometry when links die): report "no
+            # retention" rather than crashing the cell
+            degraded_throughput = None
+
+    return {
+        "throughput": sat.throughput,
+        "converged": sat.converged,
+        "runs": len(sat.runs),
+        "knee_offered": knee.offered if knee else None,
+        "knee_latency_ns": knee.latency if knee else None,
+        "knee_bracketed": knee.bracketed if knee else False,
+        "probe_rate": probe_rate,
+        "p99_latency_ns": probe.p99_latency_ns,
+        "avg_latency_ns": probe.avg_latency_ns,
+        "degraded_throughput": degraded_throughput,
+    }
+
+
+def run_tournament(entries: Sequence[SchemeEntry],
+                   topologies: Sequence[TopologySpec],
+                   patterns: Sequence[str],
+                   profile: Profile,
+                   seed: int = 1,
+                   failures: int = 0,
+                   start_rate: float = 0.005,
+                   executor=None) -> TournamentReport:
+    """Run the full cross product and assemble the report.
+
+    Unsupported cells (capability declaration rejects the topology) are
+    recorded but never simulated.  ``failures`` > 0 additionally runs
+    every supported cell's saturation search on a fabric with that many
+    links killed (the PR-4 deterministic failure sampler, same seed).
+    """
+    from ..resilience.sampling import sample_failed_links
+
+    failure_sets: Dict[str, Tuple[int, ...]] = {}
+    supported: Dict[Tuple[str, str], bool] = {}
+    for topo in topologies:
+        g = get_graph(topo.name, topo.kwargs)
+        failure_sets[topo.label] = (sample_failed_links(g, failures, seed)
+                                    if failures > 0 else ())
+        for e in entries:
+            supported[(e.routing, topo.label)] = \
+                get_scheme(e.routing).supports(g)
+
+    specs: List[Tuple[SchemeEntry, TopologySpec, str, dict]] = []
+    for pattern in patterns:
+        for topo in topologies:
+            for e in entries:
+                if not supported[(e.routing, topo.label)]:
+                    continue
+                specs.append((e, topo, pattern, _cell_payload(
+                    e, topo, pattern, profile, start_rate, seed,
+                    failure_sets[topo.label])))
+
+    if executor is not None:
+        results = executor.run_tasks(
+            TOURNAMENT_TASK_FN, [p for *_, p in specs],
+            labels=[f"tournament {e.label} {t.label} {pat}"
+                    for e, t, pat, _ in specs])
+    else:
+        results = [tournament_cell_task(p) for *_, p in specs]
+
+    by_key: Dict[Tuple[str, str, str], TournamentCell] = {}
+    for (e, topo, pattern, _), r in zip(specs, results):
+        thr = r["throughput"]
+        deg = r["degraded_throughput"]
+        by_key[(e.label, topo.label, pattern)] = TournamentCell(
+            routing=e.routing, policy=e.policy, label=e.label,
+            topology=topo.label, pattern=pattern, supported=True,
+            throughput=thr, converged=r["converged"],
+            knee_offered=r["knee_offered"],
+            knee_latency_ns=r["knee_latency_ns"],
+            knee_bracketed=r["knee_bracketed"],
+            probe_rate=r["probe_rate"],
+            p99_latency_ns=r["p99_latency_ns"],
+            avg_latency_ns=r["avg_latency_ns"],
+            degraded_throughput=deg,
+            retention=(deg / thr if deg is not None and thr > 0
+                       else None))
+
+    cells = []
+    for pattern in patterns:
+        for topo in topologies:
+            for e in entries:
+                cell = by_key.get((e.label, topo.label, pattern))
+                if cell is None:
+                    cell = TournamentCell(
+                        routing=e.routing, policy=e.policy, label=e.label,
+                        topology=topo.label, pattern=pattern,
+                        supported=False)
+                cells.append(cell)
+    return TournamentReport(tuple(entries), tuple(topologies),
+                            tuple(patterns), seed, failures, tuple(cells))
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+#: shade ramp for the heatmap: cell's standing relative to column best
+_SHADES = ".:=#"
+
+
+def _shade(frac: float) -> str:
+    frac = max(0.0, min(1.0, frac))
+    return _SHADES[min(len(_SHADES) - 1, int(frac * len(_SHADES)))]
+
+
+def _matrix(title: str, report: TournamentReport, pattern: str,
+            value, fmt: str, higher_better: bool = True) -> List[str]:
+    """One metric as rows=schemes x cols=topologies, shaded per column.
+
+    Each cell shows the value plus a shade mark scaled to the column's
+    best (``#`` = at/near the winner), so relative standing is visible
+    at a glance; the winner also gets a ``*``.  Unsupported cells and
+    missing values render ``--``.
+    """
+    width = max(11, max(len(t.label) for t in report.topologies) + 2)
+    name_w = max(len(e.label) for e in report.schemes) + 2
+    lines = [f"{title} [{pattern}]",
+             " " * name_w + "".join(f"{t.label:>{width}}"
+                                    for t in report.topologies)]
+    columns: Dict[str, List[Optional[float]]] = {}
+    for t in report.topologies:
+        columns[t.label] = [
+            value(report.cell(e.label, t.label, pattern))
+            if report.cell(e.label, t.label, pattern).supported else None
+            for e in report.schemes]
+    best: Dict[str, Optional[float]] = {}
+    for t in report.topologies:
+        vals = [v for v in columns[t.label] if v is not None]
+        best[t.label] = ((max(vals) if higher_better else min(vals))
+                         if vals else None)
+    for i, e in enumerate(report.schemes):
+        row = f"{e.label:<{name_w}}"
+        for t in report.topologies:
+            v, b = columns[t.label][i], best[t.label]
+            if v is None:
+                row += f"{'--':>{width}}"
+                continue
+            mark = "*" if v == b else " "
+            # standing in (0, 1]: 1 = column winner, regardless of
+            # whether high or low values win this metric
+            if higher_better:
+                frac = v / b if b else 1.0
+            else:
+                frac = b / v if v else 1.0
+            row += f"{format(v, fmt) + mark + _shade(frac):>{width}}"
+        lines.append(row)
+    return lines
+
+
+def render_tournament(report: TournamentReport) -> str:
+    """ASCII report: throughput + knee heatmaps, p99, retention."""
+    out: List[str] = []
+    topo_names = ", ".join(t.label for t in report.topologies)
+    out.append(f"Routing-scheme tournament (seed {report.seed}): "
+               f"{len(report.schemes)} schemes x [{topo_names}] x "
+               f"{len(report.patterns)} patterns")
+    out.append("cells: value + shade vs column best "
+               f"({_SHADES[-1]!r} = best, '*' = winner, '--' = scheme "
+               "does not support the topology)")
+    for pattern in report.patterns:
+        out.append("")
+        out.extend(_matrix("saturation throughput (flits/ns/switch)",
+                           report, pattern,
+                           lambda c: c.throughput, ".4f"))
+        out.append("")
+        out.extend(_matrix("latency knee (offered flits/ns/switch)",
+                           report, pattern,
+                           lambda c: c.knee_offered, ".4f"))
+        out.append("")
+        out.extend(_matrix("p99 latency at 0.8x stable rate (ns)",
+                           report, pattern,
+                           lambda c: c.p99_latency_ns, ".0f",
+                           higher_better=False))
+        if report.failures > 0:
+            out.append("")
+            out.extend(_matrix(
+                f"throughput retention after {report.failures} "
+                "link failures", report, pattern,
+                lambda c: c.retention, ".2f"))
+    return "\n".join(out)
+
+
+# -- registry entry ----------------------------------------------------------
+
+
+def default_tournament(profile: Profile, executor=None) -> TournamentReport:
+    """Registry entry: every registered scheme on scaled-down grids.
+
+    4x4 torus and 4x4 mesh (2 hosts/switch -> 32 hosts, a power of two
+    so bit-reversal is defined) under uniform and bit-reversal traffic,
+    with a 2-link-failure retention column -- small enough that the
+    full cross product stays tractable at the bench profile.
+    """
+    topologies = (
+        TopologySpec("torus", {"rows": 4, "cols": 4,
+                               "hosts_per_switch": 2}, "torus 4x4"),
+        TopologySpec("mesh", {"rows": 4, "cols": 4,
+                              "hosts_per_switch": 2}, "mesh 4x4"),
+    )
+    return run_tournament(default_entries(), topologies,
+                          ("uniform", "bit-reversal"), profile,
+                          seed=1, failures=2, executor=executor)

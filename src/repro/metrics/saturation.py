@@ -21,11 +21,85 @@ exercise it with synthetic response curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional, Sequence
 
 from .summary import RunSummary
 
 RunAt = Callable[[float], RunSummary]
+
+
+@dataclass(frozen=True)
+class KneePoint:
+    """The knee of a latency-vs-offered-load curve.
+
+    The *knee* is the highest offered load at which average latency is
+    still within ``threshold`` times the zero-load (lowest-rate)
+    latency -- past it the curve bends vertical.  ``bracketed`` says
+    whether a later point actually exceeded the threshold: an
+    unbracketed knee means the curve never bent within the sweep and
+    the true knee lies beyond the last measured rate.
+    """
+
+    #: offered load at the knee (x-axis units of the input)
+    offered: float
+    #: average latency at the knee, same units as the input latencies
+    latency: float
+    #: index of the knee point in the (sorted) input sequence
+    index: int
+    #: True when a higher-rate point exceeded the latency threshold
+    bracketed: bool
+
+
+def latency_knee(offered: Sequence[float],
+                 latency: Sequence[Optional[float]],
+                 threshold: float = 2.0) -> Optional[KneePoint]:
+    """Locate the knee of a latency-vs-offered-load curve.
+
+    The NoC-sweep idiom: take the latency of the lowest-load point as
+    the zero-load baseline, then report the last point (in ascending
+    offered-load order) whose latency stays within ``threshold`` times
+    that baseline.  Points with ``None`` latency (no deliveries) are
+    ignored.  Returns ``None`` when fewer than one finite point exists.
+
+    The inputs need not be pre-sorted; pairs are sorted by offered
+    load here, and ``index`` refers to the sorted order.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1 (it scales the "
+                         "zero-load latency)")
+    pts = sorted((o, lat) for o, lat in zip(offered, latency)
+                 if lat is not None)
+    if not pts:
+        return None
+    base = pts[0][1]
+    if base <= 0:
+        raise ValueError("zero-load latency must be positive")
+    knee_i = 0
+    bracketed = False
+    for i, (_o, lat) in enumerate(pts):
+        if lat <= threshold * base:
+            knee_i = i
+        else:
+            bracketed = True
+            break
+    o, lat = pts[knee_i]
+    return KneePoint(offered=o, latency=lat, index=knee_i,
+                     bracketed=bracketed)
+
+
+def knee_from_runs(runs: Sequence[RunSummary],
+                   threshold: float = 2.0) -> Optional[KneePoint]:
+    """:func:`latency_knee` over a set of finished runs.
+
+    Saturated runs are excluded up front: their latency is
+    window-dependent (the backlog grows without bound), so they carry
+    no usable y value even when it happens to fall under the
+    threshold.
+    """
+    stable = [r for r in runs if not r.saturated]
+    return latency_knee([r.offered_flits_ns_switch for r in stable],
+                        [r.avg_latency_ns for r in stable],
+                        threshold)
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,10 @@ class RunSummary:
     #: first fault; ``None`` without a fault plan or when the run never
     #: recovers inside the measurement window
     time_to_recover_ns: Optional[float] = None
+    #: 99th-percentile message latency (nearest-rank); only populated
+    #: when the run was asked to keep per-message samples
+    #: (``run_simulation(..., collect_percentiles=True)``), else None
+    p99_latency_ns: Optional[float] = None
 
     @property
     def saturated(self) -> bool:
@@ -124,6 +128,7 @@ class RunSummary:
             "recovered_messages": self.recovered_messages,
             "reconfigurations": self.reconfigurations,
             "time_to_recover_ns": self.time_to_recover_ns,
+            "p99_latency_ns": self.p99_latency_ns,
         }
 
     @classmethod

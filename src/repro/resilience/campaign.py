@@ -29,14 +29,15 @@ from ..experiments.profiles import Profile
 from ..experiments.runner import get_graph, get_tables, run_simulation
 from ..metrics.saturation import find_saturation
 from ..routing.analysis import route_statistics
+from ..routing.schemes import scheme_label
 from .sampling import sample_failed_links
 
 #: the two schemes the degradation table compares (the paper's main
-#: contenders: original up*/down* vs ITBs with round-robin selection)
-SCHEMES: Tuple[Tuple[str, str, str], ...] = (
-    ("updown", "sp", "UP/DOWN"),
-    ("itb", "rr", "ITB-RR"),
-)
+#: contenders: original up*/down* vs ITBs with round-robin selection);
+#: labels come from the scheme registry
+SCHEMES: Tuple[Tuple[str, str, str], ...] = tuple(
+    (routing, policy, scheme_label(routing, policy))
+    for routing, policy in (("updown", "sp"), ("itb", "rr")))
 
 #: fn-path of :func:`resilience_cell_task` for the orchestrator
 RESILIENCE_TASK_FN = "repro.resilience.campaign:resilience_cell_task"

@@ -20,6 +20,7 @@ from typing import Dict, Tuple
 from ..topology.graph import NetworkGraph
 from ..topology.torus import switch_coords, switch_id
 from .routes import SourceRoute
+from .schemes import Scheme, register_scheme
 from .spanning_tree import build_spanning_tree
 from .table import RoutingTables
 from .updown import orient_links
@@ -73,3 +74,36 @@ def compute_dor_tables(g: NetworkGraph, rows: int, cols: int,
             path = dor_path(g, src, dst, rows, cols, wrap)
             routes[(src, dst)] = (SourceRoute.single_leg(g, path),)
     return RoutingTables("dor", 0, ud, routes)
+
+
+def _build_dor_tables(g: NetworkGraph, root: int = 0,
+                      max_routes_per_pair: int = 10,
+                      sort_by_itbs: bool = False) -> RoutingTables:
+    """Registry builder: DOR on the graph's declared grid geometry.
+
+    Only mesh geometry is accepted through the registry (the scheme's
+    ``supports`` predicate): with wraparound links DOR deadlocks, and
+    the deliberately-unsafe torus configuration stays reachable only
+    through :func:`compute_dor_tables` directly.
+    """
+    del root, max_routes_per_pair, sort_by_itbs  # single fixed path
+    grid = g.grid
+    if grid is None or grid.wrap:
+        raise ValueError(
+            f"dor routing needs mesh grid geometry, which topology "
+            f"{g.name!r} does not declare")
+    return compute_dor_tables(g, grid.rows, grid.cols, wrap=False)
+
+
+register_scheme(Scheme(
+    name="dor",
+    description="dimension-order (XY) routing: minimal, single-path, "
+                "deadlock-free on meshes by the turn-model argument",
+    label=lambda policy: "DOR",
+    build=_build_dor_tables,
+    discipline="dimension-order",
+    deadlock_free=True,
+    multipath=False,
+    supports=lambda g: g.grid is not None and not g.grid.wrap,
+    topology_note="mesh grid geometry (no wraparound)",
+))

@@ -5,13 +5,11 @@ destination (Section 4.5); the paper caps alternatives at 10.  We compute
 tables at switch granularity -- all hosts attached to a switch share its
 switch-level paths -- and let the NIC layer add the host cables.
 
-Two schemes are supported:
-
-* ``"updown"`` -- the UP/DOWN baseline: exactly one route per pair, the
-  balanced path chosen by the ``simple_routes`` reimplementation;
-* ``"itb"``    -- minimal routing with in-transit buffers: up to
-  ``max_routes_per_pair`` minimal alternatives, each split into legal
-  legs joined at in-transit hosts.
+Schemes are pluggable: :func:`compute_tables` dispatches through the
+:mod:`repro.routing.schemes` registry, where the paper's two schemes
+(``"updown"``, ``"itb"``) and the extension schemes (``"updown-opt"``,
+``"outflank"``, ``"dor"``) register their builders and capability
+declarations.  Nothing in this module is scheme-specific.
 """
 
 from __future__ import annotations
@@ -20,11 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from ..topology.graph import NetworkGraph
-from .itb import build_itb_routes
 from .routes import RouteLeg, SourceRoute
-from .simple_routes import compute_simple_routes
-from .spanning_tree import build_spanning_tree
-from .updown import UpDownOrientation, orient_links
+from .updown import UpDownOrientation
 
 
 @dataclass(frozen=True)
@@ -86,12 +81,15 @@ class RoutingTables:
         return RoutingTables(self.scheme, self.root, orientation, routes)
 
     def validate(self, g: NetworkGraph) -> None:
-        """Assert structural soundness of every route.
+        """Assert structural soundness and deadlock-discipline of every
+        route.
 
-        Checks: endpoints match the pair key, legs chain through valid
-        links, every leg individually satisfies the up*/down* rule, and
-        in-transit hosts sit on the leg-boundary switches.  This is the
-        deadlock-freedom argument of Section 3 made executable.
+        Structural checks: endpoints match the pair key, legs chain
+        through valid links, in-transit hosts sit on the leg-boundary
+        switches.  Legality is then checked under the **discipline the
+        scheme declares** in the registry (up*/down* leg legality for
+        the paper's schemes, X-then-Y turn order for dimension-order
+        routing) -- the deadlock-freedom argument made executable.
         """
         for (src, dst), alts in self.routes.items():
             assert alts, f"no route for pair ({src}, {dst})"
@@ -99,35 +97,28 @@ class RoutingTables:
                 assert route.src == src and route.dst == dst, (
                     f"route endpoints {route.src}->{route.dst} do not match "
                     f"pair ({src}, {dst})")
-                for leg in route.legs:
-                    assert self.orientation.path_is_legal(g, leg.switches), (
-                        f"illegal leg {leg.switches} in route {src}->{dst}")
                 for host, (prev, nxt) in zip(route.itb_hosts,
                                              zip(route.legs, route.legs[1:])):
                     assert g.host_switch(host) == prev.end == nxt.start, (
                         f"in-transit host {host} not at boundary switch of "
                         f"route {src}->{dst}")
+        # imported lazily: schemes imports RoutingTables from this module
+        from .schemes import check_discipline
+        check_discipline(self, g)
 
 
 def compute_tables(g: NetworkGraph, scheme: str, root: int = 0,
                    max_routes_per_pair: int = 10,
                    sort_by_itbs: bool = False) -> RoutingTables:
-    """Compute routing tables for ``g`` under ``scheme``.
+    """Compute routing tables for ``g`` under the registered ``scheme``.
 
     This is the entry point used by the experiment runner; results are
     deterministic for a given (graph, scheme, root).  ``sort_by_itbs``
     reorders ITB alternatives so the SP policy uses the fewest in-transit
     hops (an extension studied in the ablation benches; the paper's SP
-    does not optimise this).
+    does not optimise this).  Unknown schemes raise a
+    :class:`ValueError` listing the registered ones.
     """
-    tree = build_spanning_tree(g, root)
-    ud = orient_links(g, root, tree)
-    if scheme == "updown":
-        paths = compute_simple_routes(g, ud)
-        routes = {pair: (SourceRoute.single_leg(g, path),)
-                  for pair, path in paths.items()}
-    elif scheme == "itb":
-        routes = build_itb_routes(g, ud, max_routes_per_pair, sort_by_itbs)
-    else:
-        raise ValueError(f"unknown routing scheme {scheme!r}")
-    return RoutingTables(scheme, root, ud, routes)
+    # imported lazily: schemes imports RoutingTables from this module
+    from .schemes import make_tables
+    return make_tables(g, scheme, root, max_routes_per_pair, sort_by_itbs)

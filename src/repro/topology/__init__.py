@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict
 
-from .graph import Host, Link, NetworkGraph
+from .graph import GridGeometry, Host, Link, NetworkGraph
 from .torus import build_torus
 from .express import build_torus_express
 from .cplant import build_cplant

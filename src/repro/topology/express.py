@@ -16,7 +16,7 @@ duplicate a torus link and is skipped.
 
 from __future__ import annotations
 
-from .graph import NetworkGraph
+from .graph import GridGeometry, NetworkGraph
 from .torus import switch_id
 
 
@@ -32,6 +32,9 @@ def build_torus_express(rows: int = 8, cols: int = 8, hosts_per_switch: int = 8,
         raise ValueError("torus dimensions must be positive")
     n = rows * cols
     g = NetworkGraph(n, switch_ports, name=f"torus-express-{rows}x{cols}")
+    # the underlying ring structure is a torus: geometry-aware schemes
+    # may route over the +1 rings and simply not use the express cables
+    g.grid = GridGeometry(rows, cols, wrap=True)
     # regular torus links first (same ordering as build_torus)
     for r in range(rows):
         for c in range(cols):

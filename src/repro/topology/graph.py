@@ -61,6 +61,31 @@ class Host:
     switch: int
 
 
+@dataclass(frozen=True)
+class GridGeometry:
+    """Row/column coordinates of a grid-shaped switch fabric.
+
+    Builders that lay switches out on a 2-D grid (torus, mesh, express
+    torus) attach one of these so geometry-aware routing schemes
+    (dimension-order, OutFlank) can recover coordinates without parsing
+    names.  ``wrap`` distinguishes tori from meshes.  Mutated copies and
+    irregular graphs carry no geometry (``graph.grid is None``) -- a
+    failed link breaks the ring structure those schemes rely on.
+    """
+
+    rows: int
+    cols: int
+    wrap: bool
+
+    def coords(self, switch: int) -> Tuple[int, int]:
+        """Row-major (row, col) of a switch id."""
+        return divmod(switch, self.cols)
+
+    def switch(self, row: int, col: int) -> int:
+        """Inverse of :meth:`coords` (callers pre-reduce modulo size)."""
+        return row * self.cols + col
+
+
 class NetworkGraph:
     """Static network wiring: switches, hosts and inter-switch links.
 
@@ -79,6 +104,8 @@ class NetworkGraph:
         self.name = name
         self.num_switches = num_switches
         self.switch_ports = switch_ports
+        #: grid geometry, set by grid-shaped builders (else None)
+        self.grid: Optional[GridGeometry] = None
         self.links: List[Link] = []
         self.hosts: List[Host] = []
         self._adj: List[List[Tuple[int, int]]] = [[] for _ in range(num_switches)]

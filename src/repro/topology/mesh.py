@@ -12,7 +12,7 @@ have).
 
 from __future__ import annotations
 
-from .graph import NetworkGraph
+from .graph import GridGeometry, NetworkGraph
 from .torus import switch_id
 
 
@@ -23,6 +23,7 @@ def build_mesh(rows: int = 8, cols: int = 8, hosts_per_switch: int = 8,
         raise ValueError("mesh dimensions must be positive")
     n = rows * cols
     g = NetworkGraph(n, switch_ports, name=f"mesh-{rows}x{cols}")
+    g.grid = GridGeometry(rows, cols, wrap=False)
     for r in range(rows):
         for c in range(cols):
             s = switch_id(r, c, cols)

@@ -9,7 +9,7 @@ instances.
 
 from __future__ import annotations
 
-from .graph import NetworkGraph
+from .graph import GridGeometry, NetworkGraph
 
 
 def switch_id(row: int, col: int, cols: int) -> int:
@@ -42,6 +42,7 @@ def build_torus(rows: int = 8, cols: int = 8, hosts_per_switch: int = 8,
             f"{switch_ports}-port switches cannot host {hosts_per_switch} "
             f"hosts plus {needed - hosts_per_switch} torus links")
     g = NetworkGraph(n, switch_ports, name=f"torus-{rows}x{cols}")
+    g.grid = GridGeometry(rows, cols, wrap=True)
     for r in range(rows):
         for c in range(cols):
             s = switch_id(r, c, cols)

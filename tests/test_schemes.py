@@ -1,0 +1,272 @@
+"""Property suite for the routing-scheme registry.
+
+Every registered scheme, on every topology it declares support for,
+must produce tables that pass the structural *and* deadlock-discipline
+checks of :meth:`RoutingTables.validate`, deterministically; schemes
+must refuse unsupported graphs with a helpful error; and the registry
+must behave like the engine registry (unknown-name errors that list
+the alternatives, duplicate rejection, clean unregistration picked up
+by ``SimConfig.validate``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+import random
+
+import pytest
+
+from repro.config import PAPER_PARAMS, SimConfig
+from repro.routing.routes import SourceRoute
+from repro.routing.schemes import (Scheme, available_schemes,
+                                   build_updown_tables, check_discipline,
+                                   get_scheme, make_tables,
+                                   register_scheme, scheme_label,
+                                   supported_schemes, unregister_scheme)
+from repro.routing.angara import select_root
+from repro.routing.minimal import enumerate_minimal_paths
+from repro.routing.policies import make_policy
+from repro.routing.spanning_tree import build_spanning_tree
+from repro.routing.table import RoutingTables, compute_tables
+from repro.routing.updown import orient_links
+from repro.sim import Simulator, make_network
+from repro.topology import build_mesh
+from tests.conftest import small_config
+
+#: the schemes this PR ships (the paper's two plus three rivals)
+EXPECTED = {"updown", "itb", "updown-opt", "outflank", "dor"}
+
+GRAPH_FIXTURES = ("torus44", "express44", "irregular16", "mesh44")
+
+
+@pytest.fixture(scope="session")
+def mesh44():
+    return build_mesh(rows=4, cols=4, hosts_per_switch=2)
+
+
+@pytest.fixture(params=GRAPH_FIXTURES)
+def any_graph(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestRegistry:
+    def test_shipped_schemes_registered(self):
+        assert EXPECTED <= set(available_schemes())
+        from repro.routing import list_schemes
+        assert list_schemes() == available_schemes()
+
+    def test_unknown_scheme_lists_available(self):
+        with pytest.raises(ValueError, match="unknown routing scheme"):
+            get_scheme("teleport")
+        with pytest.raises(ValueError, match="updown"):
+            get_scheme("teleport")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(get_scheme("updown"))
+
+    def test_unknown_discipline_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown discipline"):
+            Scheme(name="x", description="", label=lambda p: "X",
+                   build=build_updown_tables, discipline="vortex",
+                   deadlock_free=True, multipath=False)
+
+    def test_registration_roundtrip_reaches_config_validation(self):
+        register_scheme(Scheme(
+            name="null-route", description="test-only",
+            label=lambda p: "NULL", build=build_updown_tables,
+            discipline="updown", deadlock_free=True, multipath=False))
+        try:
+            assert "null-route" in available_schemes()
+            # config validation and labels pick it up with no changes
+            small_config(routing="null-route").validate()
+            assert small_config(routing="null-route").label() == "NULL"
+        finally:
+            unregister_scheme("null-route")
+        assert "null-route" not in available_schemes()
+        with pytest.raises(ValueError, match="unknown routing scheme"):
+            small_config(routing="null-route").validate()
+        assert "updown" in available_schemes()  # built-ins untouched
+
+    def test_labels(self):
+        assert scheme_label("updown", "sp") == "UP/DOWN"
+        assert scheme_label("itb", "rr") == "ITB-RR"
+        assert scheme_label("updown-opt", "sp") == "UD-OPT"
+        assert scheme_label("outflank", "rr") == "OFR-RR"
+        assert scheme_label("dor", "sp") == "DOR"
+
+    def test_capability_filtering(self, torus44, mesh44, irregular16):
+        # grid-bound schemes drop off graphs without grid geometry;
+        # dimension-order additionally needs the wrap-free mesh
+        assert "outflank" not in supported_schemes(irregular16)
+        assert "dor" not in supported_schemes(irregular16)
+        assert "dor" not in supported_schemes(torus44)
+        assert {"outflank", "dor"} <= set(supported_schemes(mesh44))
+        # the universal schemes route everything
+        for g in (torus44, mesh44, irregular16):
+            assert {"updown", "itb", "updown-opt"} <= \
+                set(supported_schemes(g))
+
+    def test_unsupported_build_raises_with_topology_note(self, irregular16):
+        with pytest.raises(ValueError, match="does not support"):
+            make_tables(irregular16, "outflank")
+        with pytest.raises(ValueError, match="grid geometry"):
+            make_tables(irregular16, "dor")
+
+
+class TestSchemeProperties:
+    """Validity, determinism and deadlock discipline for every
+    (registered scheme, topology builder) combination."""
+
+    def test_every_supported_pair_validates(self, any_graph):
+        g = any_graph
+        for name in available_schemes():
+            if name not in supported_schemes(g):
+                with pytest.raises(ValueError, match="does not support"):
+                    make_tables(g, name)
+                continue
+            tables = make_tables(g, name)
+            tables.validate(g)  # structural + declared discipline
+            assert tables.scheme == name
+            # complete: every ordered switch pair has at least one route
+            pairs = {(s, t) for s in g.switches() for t in g.switches()
+                     if s != t}
+            assert pairs <= set(tables.routes)
+
+    def test_deterministic_for_fixed_inputs(self, any_graph):
+        g = any_graph
+        for name in supported_schemes(g):
+            a = make_tables(g, name, root=0)
+            b = make_tables(g, name, root=0)
+            assert a.routes == b.routes
+            assert a.root == b.root
+
+    def test_multipath_declaration_matches_tables(self, torus44):
+        for name in supported_schemes(torus44):
+            tables = make_tables(torus44, name)
+            if get_scheme(name).multipath:
+                assert tables.max_alternatives() > 1
+            else:
+                assert tables.max_alternatives() == 1
+
+
+class TestDisciplineChecks:
+    """The discipline checks are real: hand them a violating table and
+    they must fail."""
+
+    def test_updown_check_catches_illegal_route(self, torus44):
+        g = torus44
+        tree = build_spanning_tree(g, 0)
+        ud = orient_links(g, 0, tree)
+        bad = None
+        for dst in g.switches():
+            dist = g.shortest_distances(dst)
+            for src in g.switches():
+                if src == dst:
+                    continue
+                for path in enumerate_minimal_paths(g, src, dst, dist):
+                    if not ud.path_is_legal(g, path):
+                        bad = (src, dst, path)
+                        break
+                if bad:
+                    break
+            if bad:
+                break
+        assert bad is not None, "a 4x4 torus has up*/down*-illegal " \
+                                "minimal paths"
+        src, dst, path = bad
+        tables = RoutingTables("updown", 0, ud,
+                               {(src, dst):
+                                (SourceRoute.single_leg(g, path),)})
+        with pytest.raises(AssertionError, match="illegal leg"):
+            tables.validate(g)
+
+    def test_dimension_order_check_catches_yx_route(self, mesh44):
+        g = mesh44
+        good = compute_tables(g, "dor")
+        # a Y-then-X path: down one row, then right one column
+        yx = (g.grid.switch(0, 0), g.grid.switch(1, 0),
+              g.grid.switch(1, 1))
+        routes = dict(good.routes)
+        routes[(yx[0], yx[-1])] = (SourceRoute.single_leg(g, yx),)
+        bad = RoutingTables("dor", good.root, good.orientation, routes)
+        with pytest.raises(AssertionError, match="turns back"):
+            check_discipline(bad, g)
+
+    def test_dimension_order_check_catches_reversal(self, mesh44):
+        g = mesh44
+        good = compute_tables(g, "dor")
+        # east one column, then straight back west
+        zig = (g.grid.switch(0, 0), g.grid.switch(0, 1),
+               g.grid.switch(0, 0), g.grid.switch(0, 1))
+        routes = dict(good.routes)
+        routes[(zig[0], zig[-1])] = (SourceRoute.single_leg(g, zig),)
+        bad = RoutingTables("dor", good.root, good.orientation, routes)
+        with pytest.raises(AssertionError, match="reverses direction"):
+            check_discipline(bad, g)
+
+
+class TestAngara:
+    def test_root_is_graph_centre(self, mesh44):
+        root = select_root(mesh44)
+        ecc = {}
+        for s in mesh44.switches():
+            dist = mesh44.shortest_distances(s)
+            ecc[s] = max(dist[t] for t in mesh44.switches())
+        assert ecc[root] == min(ecc.values())
+        # on the 4x4 mesh the centre is strictly better than the
+        # corner the baseline defaults to
+        assert ecc[root] < ecc[0]
+
+    def test_opt_tables_use_centre_root(self, mesh44):
+        tables = make_tables(mesh44, "updown-opt", root=0)
+        assert tables.root == select_root(mesh44)
+
+
+class TestOutFlank:
+    def test_flank_paths_are_nonminimal_alternatives(self, torus44):
+        g = torus44
+        tables = make_tables(g, "outflank")
+        longer = 0
+        for (src, dst), alts in tables.routes.items():
+            if src == dst:
+                continue
+            d = g.shortest_distances(src)[dst]
+            hops = [sum(len(leg.switches) - 1 for leg in r.legs)
+                    for r in alts]
+            assert min(hops) == d  # a minimal path is always offered
+            longer += sum(1 for h in hops if h > d)
+        assert longer > 0  # and flanking detours actually exist
+
+    @pytest.mark.parametrize("scheme", ["outflank", "updown-opt"])
+    def test_engine_parity_smoke(self, scheme):
+        """Both engines drain the same rival-scheme workload identically."""
+        g = build_mesh(rows=3, cols=3, hosts_per_switch=2)
+        tables = compute_tables(g, scheme)
+        rng = random.Random(11)
+        pairs = [(a, b) for a, b in
+                 ((rng.randrange(g.num_hosts), rng.randrange(g.num_hosts))
+                  for _ in range(40)) if a != b][:20]
+        results = {}
+        for engine in ("packet", "flit"):
+            sim = Simulator()
+            net = make_network(engine, sim, g, tables,
+                               make_policy("rr", seed=7), PAPER_PARAMS,
+                               message_bytes=256)
+            pkts = [net.send(src, dst) for src, dst in pairs]
+            sim.run_until_idle()
+            assert net.delivered == len(pairs)
+            results[engine] = {
+                "itb_hist": Counter(p.num_itbs for p in pkts),
+                "links": {(c.src, c.dst, c.link_id): c.flits
+                          for c in net.link_flit_counts()},
+            }
+        assert results["packet"] == results["flit"]
+
+    def test_runs_under_simconfig(self):
+        cfg = small_config(routing="outflank", policy="rr",
+                           injection_rate=0.005)
+        from repro.experiments.runner import run_simulation
+        s = run_simulation(cfg)
+        assert s.messages_delivered > 0
+        assert s.config.label() == "OFR-RR"

@@ -68,7 +68,8 @@ class TestRegistry:
     def test_all_artifacts_registered(self):
         expected = {"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10a",
                     "fig10b", "fig11", "fig12a", "fig12b", "fig12c",
-                    "table1", "table2", "table3", "resilience", "recovery"}
+                    "table1", "table2", "table3", "resilience", "recovery",
+                    "tournament"}
         assert set(EXPERIMENTS) == expected
 
     def test_kinds(self):

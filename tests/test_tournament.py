@@ -1,0 +1,104 @@
+"""Tournament smoke: small matrix, inline + orchestrated, CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.profiles import TEST
+from repro.experiments.tournament import (TopologySpec, default_entries,
+                                          render_tournament,
+                                          run_tournament,
+                                          tournament_cell_task)
+
+TORUS33 = TopologySpec("torus", {"rows": 3, "cols": 3,
+                                 "hosts_per_switch": 2}, "torus 3x3")
+IRREG = TopologySpec("irregular", {}, "irregular")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_tournament(default_entries(["updown", "itb", "outflank"]),
+                          (TORUS33, IRREG), ("uniform",), TEST,
+                          seed=1, failures=1)
+
+
+class TestRunTournament:
+    def test_full_cross_product_reported(self, report):
+        assert len(report.cells) == 3 * 2 * 1
+
+    def test_supported_cells_carry_all_metrics(self, report):
+        c = report.cell("ITB-RR", "torus 3x3", "uniform")
+        assert c.supported
+        assert c.throughput > 0
+        assert c.knee_offered is not None and c.knee_offered > 0
+        assert c.p99_latency_ns is not None and c.p99_latency_ns > 0
+        assert c.probe_rate is not None and c.probe_rate > 0
+        # one link down on a 3x3 torus leaves plenty of fabric
+        assert c.retention is not None and 0 < c.retention <= 1.5
+
+    def test_default_policies_follow_multipath_flag(self, report):
+        by_routing = {e.routing: e.policy for e in report.schemes}
+        assert by_routing == {"updown": "sp", "itb": "rr",
+                              "outflank": "rr"}
+
+    def test_unsupported_cell_marked_not_simulated(self, report):
+        c = report.cell("OFR-RR", "irregular", "uniform")
+        assert not c.supported
+        assert c.throughput == 0.0 and c.p99_latency_ns is None
+
+    def test_grid_scheme_loses_retention_not_the_cell(self, report):
+        # the mutated (degraded) graph has no grid geometry, so the
+        # grid-bound scheme keeps its healthy metrics but reports no
+        # retention instead of crashing
+        c = report.cell("OFR-RR", "torus 3x3", "uniform")
+        assert c.supported and c.throughput > 0
+        assert c.retention is None
+
+    def test_unknown_scheme_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown routing scheme"):
+            default_entries(["updown", "teleport"])
+
+    def test_report_renders_and_serializes(self, report):
+        text = render_tournament(report)
+        for needle in ("saturation throughput", "latency knee",
+                       "p99 latency", "retention after 1 link",
+                       "ITB-RR", "torus 3x3", "--"):
+            assert needle in text
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert len(blob["cells"]) == len(report.cells)
+        assert blob["failures"] == 1
+
+    def test_cell_task_is_deterministic(self):
+        entry = default_entries(["updown"])[0]
+        from repro.experiments.tournament import _cell_payload
+        payload = _cell_payload(entry, TORUS33, "uniform", TEST,
+                                start_rate=0.005, seed=1,
+                                failed_links=())
+        assert json.dumps(tournament_cell_task(payload)) == \
+            json.dumps(tournament_cell_task(payload))
+
+
+class TestTournamentCLI:
+    def test_cli_smoke(self, tmp_path, capsys):
+        out = tmp_path / "tournament.json"
+        rc = main(["tournament", "--profile", "test",
+                   "--schemes", "updown,updown-opt",
+                   "--topologies", "torus", "--rows", "3", "--cols", "3",
+                   "--hosts-per-switch", "2",
+                   "--patterns", "uniform",
+                   "--json", str(out), "--no-cache"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "UD-OPT" in text and "saturation throughput" in text
+        blob = json.loads(out.read_text())
+        assert {c["label"] for c in blob["cells"]} == {"UP/DOWN",
+                                                       "UD-OPT"}
+
+    def test_schemes_verb(self, capsys):
+        assert main(["schemes"]) == 0
+        text = capsys.readouterr().out
+        for name in ("updown", "itb", "updown-opt", "outflank", "dor"):
+            assert name in text
