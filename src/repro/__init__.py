@@ -42,7 +42,10 @@ from .sim import (DeadlockError, FlitLevelNetwork, ItbStats,
 from .topology import (NetworkGraph, build, build_cplant, build_irregular,
                        build_mesh, build_torus, build_torus_express,
                        check_topology)
-from .traffic import TrafficPattern, TrafficProcess, make_pattern
+from .traffic import (ArrivalProcess, DestinationPattern, TrafficPattern,
+                      TrafficProcess, available_arrivals,
+                      available_patterns, make_arrival, make_pattern,
+                      make_workload, supported_patterns)
 
 __version__ = "1.0.0"
 
@@ -106,7 +109,14 @@ __all__ = [
     "build_mesh",
     "check_topology",
     "TrafficPattern",
+    "DestinationPattern",
+    "ArrivalProcess",
     "TrafficProcess",
     "make_pattern",
+    "make_arrival",
+    "make_workload",
+    "available_patterns",
+    "available_arrivals",
+    "supported_patterns",
     "__version__",
 ]

@@ -34,6 +34,10 @@ Commands
 ``schemes``
     The routing-scheme registry with capability declarations.
 
+``traffic``
+    The traffic registry: destination patterns and arrival processes
+    with their capability declarations and keyword arguments.
+
 ``list``
     The experiment registry.
 
@@ -76,6 +80,11 @@ from .routing.analysis import route_statistics
 from .routing.schemes import (available_schemes, describe_schemes,
                               supported_schemes)
 from .sim.engines import available_engines
+from .traffic.defaults import DEFAULT_ARRIVAL, DEFAULT_PATTERN
+from .traffic.registry import (arrival_cli_kwargs, available_arrivals,
+                               available_patterns, describe_arrivals,
+                               describe_patterns, get_pattern_spec,
+                               pattern_cli_kwargs, supported_patterns)
 from .units import ns
 
 PROFILES = {"bench": BENCH, "paper": PAPER, "test": TEST}
@@ -91,13 +100,27 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    choices=list(available_schemes()))
     p.add_argument("--policy", default="rr",
                    choices=["sp", "rr", "random", "adaptive"])
-    p.add_argument("--traffic", default="uniform",
-                   choices=["uniform", "bit-reversal", "hotspot", "local"])
-    p.add_argument("--hotspot", type=int, default=0,
-                   help="hotspot host id (hotspot traffic)")
-    p.add_argument("--hotspot-fraction", type=float, default=0.05)
-    p.add_argument("--radius", type=int, default=3,
-                   help="switch radius (local traffic)")
+    p.add_argument("--traffic", default=DEFAULT_PATTERN,
+                   choices=list(available_patterns()),
+                   help="destination pattern; see 'repro traffic'")
+    p.add_argument("--traffic-arg", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="pattern keyword argument (repeatable); declared "
+                        "kwargs are listed by 'repro traffic'")
+    p.add_argument("--arrival", default=DEFAULT_ARRIVAL,
+                   choices=list(available_arrivals()),
+                   help="arrival process; see 'repro traffic'")
+    p.add_argument("--arrival-arg", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="arrival keyword argument (repeatable)")
+    # legacy spellings of common pattern kwargs, kept for muscle memory;
+    # they fold into --traffic-arg wherever the pattern declares them
+    p.add_argument("--hotspot", type=int, default=None,
+                   help="legacy for --traffic-arg hotspot=N")
+    p.add_argument("--hotspot-fraction", type=float, default=None,
+                   help="legacy for --traffic-arg fraction=F")
+    p.add_argument("--radius", type=int, default=None,
+                   help="legacy for --traffic-arg radius=N")
     p.add_argument("--message-bytes", type=int, default=512)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--warmup-ns", type=float, default=100_000)
@@ -147,12 +170,14 @@ def _make_executor(args: argparse.Namespace,
 
 
 def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
-    traffic_kwargs = {}
-    if args.traffic == "hotspot":
-        traffic_kwargs = {"hotspot": args.hotspot,
-                          "fraction": args.hotspot_fraction}
-    elif args.traffic == "local":
-        traffic_kwargs = {"radius": args.radius}
+    traffic_kwargs = pattern_cli_kwargs(args.traffic, args.traffic_arg)
+    arrival_kwargs = arrival_cli_kwargs(args.arrival, args.arrival_arg)
+    declared = {k.name for k in get_pattern_spec(args.traffic).kwargs}
+    for key, value in (("hotspot", args.hotspot),
+                       ("fraction", args.hotspot_fraction),
+                       ("radius", args.radius)):
+        if value is not None and key in declared:
+            traffic_kwargs.setdefault(key, value)
     topology_kwargs = {}
     if args.topology in ("torus", "torus-express", "mesh"):
         if args.rows is not None:
@@ -165,6 +190,7 @@ def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
         topology=args.topology, topology_kwargs=topology_kwargs,
         routing=args.routing, policy=args.policy,
         traffic=args.traffic, traffic_kwargs=traffic_kwargs,
+        arrival=args.arrival, arrival_kwargs=arrival_kwargs,
         injection_rate=rate, message_bytes=args.message_bytes,
         seed=args.seed, warmup_ps=ns(args.warmup_ns),
         measure_ps=ns(args.measure_ns), engine=args.engine)
@@ -177,6 +203,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     degrees = sorted({g.degree(s) for s in g.switches()})
     diameter = max(max(r) for r in g.all_pairs_distances())
     print(f"switch degrees {degrees}, diameter {diameter}")
+    print(f"traffic patterns: {', '.join(supported_patterns(g))}")
     for scheme in supported_schemes(g):
         st = route_statistics(g, get_tables(g, (args.topology, ()), scheme))
         print(f"{scheme:7s}: {st.fraction_minimal:6.1%} minimal, "
@@ -260,6 +287,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif exp.kind == "tournament-table":
         from .experiments.tournament import render_tournament
         print(render_tournament(result))
+    elif exp.kind == "stability-table":
+        from .experiments.adversary import render_stability_table
+        print(render_stability_table(result))
     else:
         print(render_hotspot_table(result))
     if executor is not None:
@@ -317,6 +347,36 @@ def cmd_schemes(_args: argparse.Namespace) -> int:
         print(f"{name:12s} {', '.join(caps)}")
         print(f"{'':12s} {s.description}")
         print(f"{'':12s} topologies: {s.topology_note}")
+    return 0
+
+
+def _kwarg_line(kwargs) -> str:
+    from .traffic.registry import REQUIRED
+    parts = []
+    for k in kwargs:
+        default = ("=<required>" if k.default is REQUIRED
+                   else f"={k.default}")
+        parts.append(f"{k.name}:{k.type.__name__}{default}")
+    return ", ".join(parts)
+
+
+def cmd_traffic(_args: argparse.Namespace) -> int:
+    print("destination patterns")
+    for name, spec in describe_patterns():
+        caps = []
+        if spec.provides_arrivals:
+            caps.append("self-timed")
+        if spec.kwargs:
+            caps.append(_kwarg_line(spec.kwargs))
+        print(f"  {name:12s} {spec.description}")
+        print(f"  {'':12s} topologies: {spec.topology_note}"
+              + (f"; {'; '.join(caps)}" if caps else ""))
+    print("arrival processes")
+    for name, spec in describe_arrivals():
+        line = f"  {name:12s} {spec.description}"
+        print(line)
+        if spec.kwargs:
+            print(f"  {'':12s} {_kwarg_line(spec.kwargs)}")
     return 0
 
 
@@ -481,6 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list registered routing schemes and their "
                             "capability declarations")
     p.set_defaults(fn=cmd_schemes)
+
+    p = sub.add_parser("traffic",
+                       help="list registered destination patterns and "
+                            "arrival processes with their declared kwargs")
+    p.set_defaults(fn=cmd_traffic)
 
     p = sub.add_parser("list", help="list paper artefacts")
     p.set_defaults(fn=cmd_list)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping
 
+from .traffic.defaults import DEFAULT_ARRIVAL, DEFAULT_PATTERN
 from .units import KB, ns
 
 
@@ -123,9 +124,16 @@ class SimConfig:
     among alternatives (``"sp"``, ``"rr"``, ``"random"``,
     ``"adaptive"``; single-path schemes ignore it).
 
+    ``traffic`` names a destination pattern and ``arrival`` an arrival
+    process, both registered in :mod:`repro.traffic.registry`;
+    ``traffic_kwargs`` / ``arrival_kwargs`` are validated against the
+    registry's declared keyword arguments, so new workloads need no
+    config edits.
+
     ``injection_rate`` is offered load in **flits/ns/switch**, the unit of
-    the paper's plots; each host generates fixed-size messages at constant
-    rate so that the per-switch aggregate equals this value.
+    the paper's plots; each host generates fixed-size messages at that
+    mean rate (the arrival process redistributes the firings in time but
+    preserves the mean) so the per-switch aggregate equals this value.
 
     ``engine`` names a backend registered in :mod:`repro.sim.engines`:
     ``"packet"`` (the fast wormhole model used for all paper-scale runs)
@@ -139,8 +147,13 @@ class SimConfig:
     topology_kwargs: Mapping[str, Any] = field(default_factory=dict)
     routing: str = "updown"
     policy: str = "sp"
-    traffic: str = "uniform"
+    traffic: str = DEFAULT_PATTERN
     traffic_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: arrival process registered in :mod:`repro.traffic` (``"constant"``
+    #: is the paper's load model; ``"poisson"``, ``"onoff"``, ``"burst"``
+    #: and ``"adversarial"`` redistribute the same mean rate in time)
+    arrival: str = DEFAULT_ARRIVAL
+    arrival_kwargs: Mapping[str, Any] = field(default_factory=dict)
     injection_rate: float = 0.01
     message_bytes: int = 512
     params: MyrinetParams = PAPER_PARAMS
@@ -167,6 +180,11 @@ class SimConfig:
             raise ValueError(
                 f"unknown routing scheme {self.routing!r}; available: "
                 f"{', '.join(available_schemes())}")
+        # imported lazily: repro.traffic imports the sim core, which
+        # imports this module at load time
+        from .traffic.registry import validate_workload
+        validate_workload(self.traffic, self.traffic_kwargs,
+                          self.arrival, self.arrival_kwargs)
         if self.policy not in ("sp", "rr", "random", "adaptive"):
             raise ValueError(f"unknown selection policy {self.policy!r}")
         # imported lazily: repro.sim imports this module at load time
@@ -188,6 +206,20 @@ class SimConfig:
         except ValueError:
             return self.routing
 
+    def workload_label(self) -> str:
+        """Label of the traffic side, e.g. ``hotspot@3(10%)+onoff``.
+
+        Delegates to the traffic registry so new patterns/processes
+        carry their own labels; unregistered names (tests) fall back to
+        the raw pattern name.
+        """
+        from .traffic.registry import workload_label
+        try:
+            return workload_label(self.traffic, self.traffic_kwargs,
+                                  self.arrival, self.arrival_kwargs)
+        except ValueError:
+            return self.traffic
+
     def with_overrides(self, **kw: Any) -> "SimConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kw)
@@ -207,6 +239,8 @@ class SimConfig:
             "policy": self.policy,
             "traffic": self.traffic,
             "traffic_kwargs": dict(self.traffic_kwargs),
+            "arrival": self.arrival,
+            "arrival_kwargs": dict(self.arrival_kwargs),
             "injection_rate": self.injection_rate,
             "message_bytes": self.message_bytes,
             "params": self.params.to_dict(),

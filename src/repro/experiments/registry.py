@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
-from . import figures, tables, tournament
+from . import adversary, figures, tables, tournament
 from ..resilience import campaign as resilience_campaign
 from ..resilience import recovery as resilience_recovery
 from .profiles import Profile
@@ -23,7 +23,7 @@ class Experiment:
     exp_id: str
     kind: str  # "latency-panel" | "link-map" | "hotspot-table"
                # | "resilience-table" | "recovery-table"
-               # | "tournament-table"
+               # | "tournament-table" | "stability-table"
     description: str
     fn: Callable[[Profile], Any]
 
@@ -72,8 +72,12 @@ _register("recovery", "recovery-table",
           "4x4 torus", resilience_recovery.torus_recovery)
 _register("tournament", "tournament-table",
           "Every registered scheme x {torus, mesh} x {uniform, "
-          "bit-reversal} with failure retention",
+          "bit-reversal, incast, uniform+onoff} with failure retention",
           tournament.default_tournament)
+_register("adversary", "stability-table",
+          "(r, b)-adversarial stability: up*/down* vs ITB backlog "
+          "under worst-case bursty injection, 4x4 torus",
+          adversary.torus_adversary)
 
 
 def run_experiment(exp_id: str, profile: Profile,

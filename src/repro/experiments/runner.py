@@ -36,8 +36,8 @@ from ..sim.reliable import (ReconfigParams, ReconfigurationManager,
 from ..topology import build as build_topology
 from ..topology.graph import NetworkGraph
 from ..topology.validate import check_topology
-from ..traffic import make_pattern
 from ..traffic.base import TrafficProcess, per_host_interval_ps
+from ..traffic.registry import make_workload
 
 _GRAPH_CACHE: Dict[Tuple, NetworkGraph] = {}
 _TABLE_CACHE: Dict[Tuple, RoutingTables] = {}
@@ -199,9 +199,12 @@ def _run_simulation(config: SimConfig, collect_links: bool,
             max_routes_per_pair=config.params.max_routes_per_pair,
             sort_by_itbs=sort_by_itbs)
 
-    pattern = make_pattern(config.traffic, g, **dict(config.traffic_kwargs))
     interval = per_host_interval_ps(config.injection_rate,
                                     config.message_bytes, g)
+    pattern, arrivals = make_workload(g, config.traffic,
+                                      config.traffic_kwargs,
+                                      config.arrival, config.arrival_kwargs,
+                                      interval)
     # permutations may silence some hosts (e.g. the 32 palindromic ids
     # under bit-reversal): the load actually offered to the network is
     # proportionally lower than the nominal per-host rate
@@ -209,7 +212,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                       * len(pattern.active_hosts()) / g.num_hosts)
     traffic = TrafficProcess(sim,
                              transport if transport is not None else network,
-                             pattern, interval, seed=config.seed,
+                             pattern, arrivals, seed=config.seed,
                              max_messages=config.max_messages)
 
     if watchdog_ps is None:

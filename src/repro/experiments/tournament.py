@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..config import SimConfig
 from ..metrics.saturation import find_saturation, knee_from_runs
 from ..routing.schemes import available_schemes, get_scheme, scheme_label
+from ..traffic.registry import get_pattern_spec, parse_workload
 from .profiles import Profile
 from .runner import get_graph, run_simulation
 
@@ -140,26 +141,25 @@ def default_entries(schemes: Optional[Sequence[str]] = None
     return tuple(entries)
 
 
-def pattern_kwargs(pattern: str) -> Dict[str, Any]:
-    """Default traffic kwargs for patterns that require them."""
-    if pattern == "hotspot":
-        return {"hotspot": 0, "fraction": 0.05}
-    if pattern == "local":
-        return {"radius": 2}
-    return {}
-
-
 def _cell_payload(entry: SchemeEntry, topo: TopologySpec, pattern: str,
                   profile: Profile, start_rate: float, seed: int,
                   failed_links: Tuple[int, ...]) -> dict:
-    """JSON-safe description of one cell (orchestrator task payload)."""
+    """JSON-safe description of one cell (orchestrator task payload).
+
+    ``pattern`` is a workload spec (``"uniform"``, ``"uniform+onoff"``);
+    kwargs come from the registry declarations' defaults, so the
+    tournament needs no per-pattern plumbing.
+    """
+    traffic, arrival = parse_workload(pattern)
     return {
         "topology": topo.name,
         "topology_kwargs": dict(topo.kwargs),
         "routing": entry.routing,
         "policy": entry.policy,
-        "traffic": pattern,
-        "traffic_kwargs": pattern_kwargs(pattern),
+        "traffic": traffic,
+        "traffic_kwargs": {},
+        "arrival": arrival,
+        "arrival_kwargs": {},
         "seed": seed,
         "start_rate": start_rate,
         "failed_links": list(failed_links),
@@ -185,6 +185,8 @@ def tournament_cell_task(payload: dict) -> dict:
             routing=payload["routing"], policy=payload["policy"],
             traffic=payload["traffic"],
             traffic_kwargs=payload["traffic_kwargs"],
+            arrival=payload["arrival"],
+            arrival_kwargs=payload["arrival_kwargs"],
             injection_rate=rate,
             warmup_ps=payload["sat_warmup_ps"],
             measure_ps=payload["sat_measure_ps"],
@@ -246,7 +248,9 @@ def run_tournament(entries: Sequence[SchemeEntry],
                    executor=None) -> TournamentReport:
     """Run the full cross product and assemble the report.
 
-    Unsupported cells (capability declaration rejects the topology) are
+    Unsupported cells -- the scheme's capability declaration rejects
+    the topology, or the workload's destination pattern is not defined
+    on it (bit-reversal needs a power-of-two host count) -- are
     recorded but never simulated.  ``failures`` > 0 additionally runs
     every supported cell's saturation search on a fabric with that many
     links killed (the PR-4 deterministic failure sampler, same seed).
@@ -255,6 +259,7 @@ def run_tournament(entries: Sequence[SchemeEntry],
 
     failure_sets: Dict[str, Tuple[int, ...]] = {}
     supported: Dict[Tuple[str, str], bool] = {}
+    pattern_ok: Dict[Tuple[str, str], bool] = {}
     for topo in topologies:
         g = get_graph(topo.name, topo.kwargs)
         failure_sets[topo.label] = (sample_failed_links(g, failures, seed)
@@ -262,12 +267,17 @@ def run_tournament(entries: Sequence[SchemeEntry],
         for e in entries:
             supported[(e.routing, topo.label)] = \
                 get_scheme(e.routing).supports(g)
+        for pattern in patterns:
+            traffic, _ = parse_workload(pattern)
+            pattern_ok[(pattern, topo.label)] = \
+                get_pattern_spec(traffic).supports(g)
 
     specs: List[Tuple[SchemeEntry, TopologySpec, str, dict]] = []
     for pattern in patterns:
         for topo in topologies:
             for e in entries:
-                if not supported[(e.routing, topo.label)]:
+                if not (supported[(e.routing, topo.label)]
+                        and pattern_ok[(pattern, topo.label)]):
                     continue
                 specs.append((e, topo, pattern, _cell_payload(
                     e, topo, pattern, profile, start_rate, seed,
@@ -410,9 +420,11 @@ def default_tournament(profile: Profile, executor=None) -> TournamentReport:
     """Registry entry: every registered scheme on scaled-down grids.
 
     4x4 torus and 4x4 mesh (2 hosts/switch -> 32 hosts, a power of two
-    so bit-reversal is defined) under uniform and bit-reversal traffic,
-    with a 2-link-failure retention column -- small enough that the
-    full cross product stays tractable at the bench profile.
+    so bit-reversal is defined) under four workloads -- uniform and
+    bit-reversal (the paper's axes) plus many-to-one incast and bursty
+    ON/OFF uniform traffic (the extension axes) -- with a
+    2-link-failure retention column; small enough that the full cross
+    product stays tractable at the bench profile.
     """
     topologies = (
         TopologySpec("torus", {"rows": 4, "cols": 4,
@@ -421,5 +433,6 @@ def default_tournament(profile: Profile, executor=None) -> TournamentReport:
                               "hosts_per_switch": 2}, "mesh 4x4"),
     )
     return run_tournament(default_entries(), topologies,
-                          ("uniform", "bit-reversal"), profile,
+                          ("uniform", "bit-reversal", "incast",
+                           "uniform+onoff"), profile,
                           seed=1, failures=2, executor=executor)

@@ -30,6 +30,7 @@ from ..experiments.runner import get_graph, get_tables, run_simulation
 from ..metrics.saturation import find_saturation
 from ..routing.analysis import route_statistics
 from ..routing.schemes import scheme_label
+from ..traffic.defaults import DEFAULT_PATTERN
 from .sampling import sample_failed_links
 
 #: the two schemes the degradation table compares (the paper's main
@@ -128,7 +129,7 @@ def resilience_cell_task(payload: dict) -> dict:
             topology=payload["topology"],
             topology_kwargs=payload["topology_kwargs"],
             routing=payload["routing"], policy=payload["policy"],
-            traffic="uniform", injection_rate=rate,
+            traffic=DEFAULT_PATTERN, injection_rate=rate,
             warmup_ps=payload["sat_warmup_ps"],
             measure_ps=payload["sat_measure_ps"],
             seed=payload["seed"])

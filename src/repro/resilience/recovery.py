@@ -30,6 +30,7 @@ from ..experiments.profiles import Profile
 from ..experiments.runner import get_graph, run_simulation
 from ..sim.faults import FaultPlan
 from ..sim.reliable import ReconfigParams, ReliableParams
+from ..traffic.defaults import DEFAULT_PATTERN
 from .campaign import SCHEMES
 from .sampling import sample_failed_links
 
@@ -115,7 +116,7 @@ def recovery_cell_task(payload: dict) -> dict:
         topology=payload["topology"],
         topology_kwargs=payload["topology_kwargs"],
         routing=payload["routing"], policy=payload["policy"],
-        traffic="uniform", injection_rate=payload["rate"],
+        traffic=DEFAULT_PATTERN, injection_rate=payload["rate"],
         warmup_ps=payload["warmup_ps"],
         measure_ps=payload["measure_ps"],
         seed=payload["seed"])

@@ -1,64 +1,106 @@
-"""Traffic patterns and the constant-rate generation process (Section 4.2).
+"""Traffic fabric: destination patterns x arrival processes.
 
-Every host generates fixed-size messages at the same constant rate; the
-patterns differ only in how each message's destination is drawn:
+Every workload is the composition of a **destination pattern** (where
+messages go) and an **arrival process** (when they fire); any pattern
+composes with any process, and both sides dispatch through the
+capability-declaring registry in :mod:`repro.traffic.registry` -- the
+traffic twin of :mod:`repro.routing.schemes`.
 
-* :class:`UniformTraffic` -- uniformly random destination;
-* :class:`BitReversalTraffic` -- destination is the bit-reversed source
-  id (requires a power-of-two host count);
-* :class:`HotspotTraffic` -- a fixed percentage of messages target one
-  hotspot host, the rest are uniform;
-* :class:`LocalTraffic` -- destinations at most ``radius`` switches away;
-* :mod:`permutation` -- extension patterns (transpose, complement).
+Destination patterns (Section 4.2 + extensions):
 
-:func:`make_pattern` builds a pattern from its config name, and
-:class:`TrafficProcess` drives per-host generation on the simulator.
+* ``uniform`` -- uniformly random destination;
+* ``bit-reversal`` -- destination is the bit-reversed source id
+  (power-of-two host counts);
+* ``hotspot`` -- a fixed share of all messages target one host;
+* ``local`` -- destinations at most ``radius`` switches away;
+* ``transpose`` / ``complement`` -- companion permutations;
+* ``all-to-all`` / ``allreduce`` / ``incast`` -- collective exchanges
+  (:mod:`repro.traffic.collective`);
+* ``trace`` -- CSV replay carrying its own timing
+  (:mod:`repro.traffic.trace`).
+
+Arrival processes (:mod:`repro.traffic.arrivals`): ``constant`` (the
+paper's load model), ``poisson``, ``onoff``, ``burst`` and the
+(r, b)-``adversarial`` injector.  All preserve the configured mean
+rate.
+
+:func:`make_pattern` / :func:`make_arrival` /
+:func:`make_workload` build registered entries by config name, and
+:class:`TrafficProcess` drives a workload on the simulator.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
-
-from ..topology.graph import NetworkGraph
-from .base import TrafficPattern, TrafficProcess, per_host_interval_ps
+from .base import (ArrivalProcess, DestinationPattern, TrafficPattern,
+                   TrafficProcess, per_host_interval_ps)
+from .registry import (DEFAULT_ARRIVAL, DEFAULT_PATTERN, ArrivalSpec, Kwarg,
+                       PatternSpec, arrival_cli_kwargs, available_arrivals,
+                       available_patterns, describe_arrivals,
+                       describe_patterns, get_arrival_spec, get_pattern_spec,
+                       make_arrival, make_pattern, make_workload,
+                       parse_workload, pattern_cli_kwargs, register_arrival,
+                       register_pattern, supported_patterns,
+                       unregister_arrival, unregister_pattern,
+                       validate_workload, workload_label)
+from .arrivals import (AdversarialArrivals, ConstantArrivals, OnOffArrivals,
+                       PoissonArrivals, PoissonBurstArrivals)
 from .uniform import UniformTraffic
 from .bitreversal import BitReversalTraffic
 from .hotspot import HotspotTraffic
 from .local import LocalTraffic
 from .permutation import ComplementTraffic, TransposeTraffic
+from .collective import AllReduceTraffic, AllToAllTraffic, IncastTraffic
+from .trace import TraceReplay, parse_trace_csv
 
-PATTERNS: Dict[str, Callable[..., TrafficPattern]] = {
-    "uniform": UniformTraffic,
-    "bit-reversal": BitReversalTraffic,
-    "hotspot": HotspotTraffic,
-    "local": LocalTraffic,
-    "transpose": TransposeTraffic,
-    "complement": ComplementTraffic,
-}
-
-
-def make_pattern(name: str, graph: NetworkGraph,
-                 **kwargs: Any) -> TrafficPattern:
-    """Instantiate a registered traffic pattern by config name."""
-    try:
-        cls = PATTERNS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown traffic pattern {name!r}; available: {sorted(PATTERNS)}"
-        ) from None
-    return cls(graph, **kwargs)
-
+#: legacy view of the registry (pattern name -> builder); kept for
+#: back-compat, new code should use the registry API
+PATTERNS = {name: spec.build for name, spec in describe_patterns()}
 
 __all__ = [
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "DestinationPattern",
     "TrafficPattern",
     "TrafficProcess",
+    "Kwarg",
+    "PatternSpec",
     "per_host_interval_ps",
+    "DEFAULT_ARRIVAL",
+    "DEFAULT_PATTERN",
+    "available_arrivals",
+    "available_patterns",
+    "arrival_cli_kwargs",
+    "pattern_cli_kwargs",
+    "describe_arrivals",
+    "describe_patterns",
+    "get_arrival_spec",
+    "get_pattern_spec",
+    "make_arrival",
+    "make_pattern",
+    "make_workload",
+    "parse_workload",
+    "register_arrival",
+    "register_pattern",
+    "supported_patterns",
+    "unregister_arrival",
+    "unregister_pattern",
+    "validate_workload",
+    "workload_label",
     "UniformTraffic",
     "BitReversalTraffic",
     "HotspotTraffic",
     "LocalTraffic",
     "TransposeTraffic",
     "ComplementTraffic",
-    "make_pattern",
+    "AllToAllTraffic",
+    "AllReduceTraffic",
+    "IncastTraffic",
+    "TraceReplay",
+    "parse_trace_csv",
+    "ConstantArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "PoissonBurstArrivals",
+    "AdversarialArrivals",
     "PATTERNS",
 ]

@@ -1,30 +1,60 @@
-"""Traffic pattern interface and the constant-rate generation process.
+"""Traffic fabric core: destination patterns, arrival processes, driver.
+
+The workload of one run is the composition of two orthogonal
+abstractions:
+
+* a :class:`TrafficPattern` (*destination pattern*) answers **where**
+  each message goes -- uniform, bit-reversal, hotspot, collectives ...;
+* an :class:`ArrivalProcess` answers **when** each host's next message
+  fires -- constant spacing (the paper's load model), Poisson,
+  bursty ON/OFF, an (r, b)-adversary, or a replayed trace.
+
+Any pattern composes with any arrival process;
+:class:`TrafficProcess` drives the pair on the simulator.  Both sides
+register in :mod:`repro.traffic.registry` with capability
+declarations, so everything outside :mod:`repro.traffic` dispatches by
+name.
 
 The paper's load model: "message generation rate is constant and the
 same for all the hosts".  Offered load is expressed in the unit of the
 plots, **flits/ns/switch**; with ``H`` hosts, ``S`` switches and
 ``L``-flit messages each host emits one message every
 
-    interval = L * H / (rate * S)   nanoseconds.
+    interval = L * H / (rate * S)   nanoseconds
 
-Hosts start with independent random phases so the network is not hit by
-a synchronised burst every interval.
+on average -- arrival processes redistribute those firings in time but
+preserve the long-run mean rate, so offered-load comparisons across
+arrival models are like for like.
+
+RNG discipline
+--------------
+
+Each host draws destinations from its own stream seeded by
+``(seed, host)`` and arrival timing from a **separate** stream seeded
+by ``(seed, "arrival", host)``.  Timing draws therefore never perturb
+destination draws: two runs of the same seed at different injection
+rates (or under different arrival processes) see identical per-host
+destination sequences, which is what makes paired comparisons across
+rates meaningful.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..sim.base import NetworkModel
-from ..sim.engine import Simulator
 from ..topology.graph import NetworkGraph
 from ..units import PS_PER_NS
 
+if TYPE_CHECKING:  # imported for annotations only: the traffic layer
+    # is sim-core independent (it only calls network.send / sim.at)
+    from ..sim.base import NetworkModel
+    from ..sim.engine import Simulator
+
 
 class TrafficPattern(ABC):
-    """Destination distribution for one network."""
+    """Destination distribution for one network (the *where* axis)."""
 
     name: str = "abstract"
 
@@ -50,9 +80,38 @@ class TrafficPattern(ABC):
         return [h.id for h in self.graph.hosts]
 
 
+#: alias making call sites that deal with both axes self-documenting
+DestinationPattern = TrafficPattern
+
+
+class ArrivalProcess(ABC):
+    """Per-host message timing for one run (the *when* axis).
+
+    Implementations may keep per-host state (burst counters, trace
+    cursors); a process instance belongs to exactly one
+    :class:`TrafficProcess` and is never reused across runs.  All
+    randomness must come from the ``rng`` argument -- the driver hands
+    every host its own deterministic arrival stream, disjoint from its
+    destination stream.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def next_fire_ps(self, host: int, now_ps: int,
+                     rng: random.Random) -> Optional[int]:
+        """Absolute sim time (>= ``now_ps``) of ``host``'s next message.
+
+        The first call per host is made at traffic start (it sets the
+        host's initial phase); each later call is made at the moment
+        the previous message fired.  ``None`` means the host emits no
+        further messages (finite schedules, e.g. trace replay).
+        """
+
+
 def per_host_interval_ps(rate_flits_ns_switch: float, message_bytes: int,
                          graph: NetworkGraph) -> int:
-    """Inter-message interval per host for a given per-switch offered load.
+    """Mean inter-message interval per host for a per-switch offered load.
 
     One flit is one byte, so a message is ``message_bytes`` flits of
     offered payload (header overhead is not counted as offered load,
@@ -67,27 +126,31 @@ def per_host_interval_ps(rate_flits_ns_switch: float, message_bytes: int,
 
 
 class TrafficProcess:
-    """Drives constant-rate generation for every active host.
+    """Drives one (pattern, arrival process) pair for every active host.
 
     Depends only on the abstract :class:`~repro.sim.base.NetworkModel`
     interface (it just calls ``send``), so it works unchanged with any
     registered engine.
 
-    Each host gets its own deterministic RNG stream (seeded from the run
-    seed and the host id) for destination sampling and its initial
-    phase, so runs are reproducible and adding hosts does not perturb
-    other hosts' streams.
+    ``arrivals`` may be an :class:`ArrivalProcess` or a plain ``int``
+    interval in picoseconds, which is wrapped in the constant-rate
+    process (the paper's load model and the historical signature).
     """
 
     def __init__(self, sim: Simulator, network: NetworkModel,
-                 pattern: TrafficPattern, interval_ps: int, seed: int,
+                 pattern: TrafficPattern, arrivals, seed: int,
                  max_messages: int = 0) -> None:
-        if interval_ps <= 0:
-            raise ValueError("interval must be positive")
+        if isinstance(arrivals, int):
+            from .arrivals import ConstantArrivals
+            arrivals = ConstantArrivals(arrivals)
+        if not isinstance(arrivals, ArrivalProcess):
+            raise TypeError(
+                f"arrivals must be an ArrivalProcess or an int interval, "
+                f"got {type(arrivals).__name__}")
         self.sim = sim
         self.network = network
         self.pattern = pattern
-        self.interval_ps = interval_ps
+        self.arrivals = arrivals
         self.seed = seed
         self.max_messages = max_messages
         self.generated = 0
@@ -100,24 +163,28 @@ class TrafficProcess:
             raise RuntimeError("traffic process already started")
         self._started = True
         for host in self.pattern.active_hosts():
-            rng = random.Random(f"{self.seed}:{host}")
-            phase = rng.randrange(self.interval_ps)
-            self.sim.at(self.sim.now + phase,
-                        self._make_tick(host, rng))
+            dest_rng = random.Random(f"{self.seed}:{host}")
+            arr_rng = random.Random(f"{self.seed}:arrival:{host}")
+            t = self.arrivals.next_fire_ps(host, self.sim.now, arr_rng)
+            if t is not None:
+                self.sim.at(max(t, self.sim.now), self._tick,
+                            host, dest_rng, arr_rng)
 
     def stop(self) -> None:
         """Cease generation; in-flight messages drain normally."""
         self._stopped = True
 
-    def _make_tick(self, host: int, rng: random.Random):
-        def tick() -> None:
-            if self._stopped:
-                return
-            if self.max_messages and self.generated >= self.max_messages:
-                return
-            dst = self.pattern.destination(host, rng)
-            if dst is not None and dst != host:
-                self.network.send(host, dst)
-                self.generated += 1
-            self.sim.after(self.interval_ps, tick)
-        return tick
+    def _tick(self, host: int, dest_rng: random.Random,
+              arr_rng: random.Random) -> None:
+        if self._stopped:
+            return
+        if self.max_messages and self.generated >= self.max_messages:
+            return
+        dst = self.pattern.destination(host, dest_rng)
+        if dst is not None and dst != host:
+            self.network.send(host, dst)
+            self.generated += 1
+        t = self.arrivals.next_fire_ps(host, self.sim.now, arr_rng)
+        if t is not None:
+            self.sim.at(max(t, self.sim.now), self._tick,
+                        host, dest_rng, arr_rng)

@@ -49,3 +49,19 @@ class BitReversalTraffic(TrafficPattern):
     def active_hosts(self) -> list[int]:
         return [h for h in range(self.graph.num_hosts)
                 if self._dest[h] != h]
+
+
+def _register() -> None:
+    from .registry import PatternSpec, power_of_two_hosts, register_pattern
+
+    register_pattern(PatternSpec(
+        name="bit-reversal",
+        description="fixed permutation dst = bit_reverse(src); "
+                    "palindromic hosts stay silent",
+        build=BitReversalTraffic,
+        supports=power_of_two_hosts,
+        topology_note="power-of-two host count",
+    ))
+
+
+_register()

@@ -1,0 +1,9 @@
+"""Registry-wide default workload names.
+
+Kept in a dependency-free module so :mod:`repro.config` can name the
+default pattern/arrival without importing the full traffic package
+(which imports the simulation core, which imports the config).
+"""
+
+DEFAULT_PATTERN = "uniform"
+DEFAULT_ARRIVAL = "constant"

@@ -72,3 +72,23 @@ class HotspotTraffic(TrafficPattern):
         # hotspot host itself fall through to here as well)
         d = rng.randrange(self.graph.num_hosts - 1)
         return d + 1 if d >= src_host else d
+
+
+def _register() -> None:
+    from .registry import Kwarg, PatternSpec, register_pattern
+
+    register_pattern(PatternSpec(
+        name="hotspot",
+        description="a fraction of all traffic targets one hot host, "
+                    "the rest is uniform (Tables 1-3)",
+        build=HotspotTraffic,
+        kwargs=(Kwarg("hotspot", int, 0, "hotspot host id"),
+                Kwarg("fraction", float, 0.05,
+                      "directed share of all traffic, in (0, 1)")),
+        supports=lambda g: g.num_hosts >= 2,
+        label=lambda kw: (f"hotspot@{kw.get('hotspot', 0)}"
+                          f"({kw.get('fraction', 0.05):.0%})"),
+    ))
+
+
+_register()

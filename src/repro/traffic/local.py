@@ -48,3 +48,20 @@ class LocalTraffic(TrafficPattern):
         while d == src_host:
             d = cands[rng.randrange(len(cands))]
         return d
+
+
+def _register() -> None:
+    from .registry import Kwarg, PatternSpec, register_pattern
+
+    register_pattern(PatternSpec(
+        name="local",
+        description="uniform among hosts at most `radius` switches "
+                    "away (Section 4.7.4)",
+        build=LocalTraffic,
+        kwargs=(Kwarg("radius", int, 3, "switch-hop radius"),),
+        supports=lambda g: g.num_hosts >= 2,
+        label=lambda kw: f"local(r={kw.get('radius', 3)})",
+    ))
+
+
+_register()

@@ -58,3 +58,27 @@ class ComplementTraffic(TrafficPattern):
 
     def destination(self, src_host: int, rng: random.Random) -> Optional[int]:
         return src_host ^ self._mask
+
+
+def _register() -> None:
+    from .registry import PatternSpec, power_of_two_hosts, register_pattern
+
+    register_pattern(PatternSpec(
+        name="transpose",
+        description="fixed permutation swapping the high and low "
+                    "halves of the host id bits",
+        build=TransposeTraffic,
+        supports=lambda g: (power_of_two_hosts(g)
+                            and (g.num_hosts.bit_length() - 1) % 2 == 0),
+        topology_note="power-of-four host count",
+    ))
+    register_pattern(PatternSpec(
+        name="complement",
+        description="fixed permutation dst = ~src (all id bits flipped)",
+        build=ComplementTraffic,
+        supports=power_of_two_hosts,
+        topology_note="power-of-two host count",
+    ))
+
+
+_register()

@@ -24,3 +24,18 @@ class UniformTraffic(TrafficPattern):
         # over the other n-1 hosts with a single RNG call
         d = rng.randrange(self.graph.num_hosts - 1)
         return d + 1 if d >= src_host else d
+
+
+def _register() -> None:
+    from .registry import PatternSpec, register_pattern
+
+    register_pattern(PatternSpec(
+        name="uniform",
+        description="uniformly random destination among all other hosts "
+                    "(the paper's base pattern)",
+        build=UniformTraffic,
+        supports=lambda g: g.num_hosts >= 2,
+    ))
+
+
+_register()

@@ -81,6 +81,37 @@ class TestCommands:
                    "--warmup-ns", "20000", "--measure-ns", "80000"])
         assert rc == 0
 
+    def test_run_traffic_and_arrival_args(self, capsys):
+        rc = main(["run", "--topology", "irregular", "--traffic", "hotspot",
+                   "--traffic-arg", "hotspot=3",
+                   "--traffic-arg", "fraction=0.2",
+                   "--arrival", "onoff", "--arrival-arg", "duty=0.2",
+                   "--rate", "0.01",
+                   "--warmup-ns", "20000", "--measure-ns", "80000"])
+        assert rc == 0
+
+    def test_run_undeclared_traffic_arg_rejected(self, capsys):
+        with pytest.raises(ValueError, match="declares no kwarg"):
+            main(["run", "--topology", "irregular",
+                  "--traffic-arg", "alpha=2", "--rate", "0.01",
+                  "--warmup-ns", "20000", "--measure-ns", "80000"])
+
+    def test_traffic_listing(self, capsys):
+        rc = main(["traffic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "destination patterns" in out
+        assert "arrival processes" in out
+        assert "incast" in out and "adversarial" in out
+        assert "power-of-two host count" in out  # capability surfaced
+        assert "duty:float=0.25" in out          # declared kwargs surfaced
+
+    def test_info_lists_supported_patterns(self, capsys):
+        rc = main(["info", "irregular"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traffic patterns:" in out
+
     def test_sweep(self, capsys):
         rc = main(["sweep", "--topology", "irregular",
                    "--rates", "0.005,0.01",

@@ -9,10 +9,10 @@ per-directed-channel flit counts and reserved times.  Any rewrite of
 the engines that perturbs event ordering or timing fails here with a
 field-level diff.
 
-The values were captured after the measurement-boundary accounting
-fixes (channel warm-up clamp, adaptive-feedback keying) and before the
-performance overhaul; regenerate them only when an intentional
-semantic change lands::
+The values were captured after the traffic-fabric refactor separated
+the destination and arrival RNG streams (an intentional semantic
+change: per-host destination sequences are now rate-invariant);
+regenerate them only when another intentional semantic change lands::
 
     PYTHONPATH=src python tests/test_golden_values.py --regen
 """
@@ -71,77 +71,77 @@ def fingerprint(engine: str, routing: str, policy: str) -> dict:
 
 
 GOLDEN = {'packet-updown-sp': {'offered_flits_ns_switch': 0.02,
-                      'accepted_flits_ns_switch': 0.019733333333333332,
-                      'messages_delivered': 37,
-                      'messages_generated': 37,
-                      'avg_latency_ns': 4066.886864864865,
-                      'avg_network_latency_ns': 4066.886864864865,
-                      'max_latency_ns': 6237.57,
+                      'accepted_flits_ns_switch': 0.0208,
+                      'messages_delivered': 39,
+                      'messages_generated': 36,
+                      'avg_latency_ns': 4390.830230769231,
+                      'avg_network_latency_ns': 4390.830230769231,
+                      'max_latency_ns': 7584.832,
                       'avg_itbs_per_message': 0.0,
                       'itb_overflow_count': 0,
                       'itb_peak_bytes': 0,
-                      'backlog_growth': 0,
-                      'link_digest': '3f72100c8284b1d7'},
+                      'backlog_growth': -3,
+                      'link_digest': 'b485a27701e650f7'},
  'packet-itb-sp': {'offered_flits_ns_switch': 0.02,
-                   'accepted_flits_ns_switch': 0.019733333333333332,
-                   'messages_delivered': 37,
-                   'messages_generated': 37,
-                   'avg_latency_ns': 4280.902594594595,
-                   'avg_network_latency_ns': 4280.902594594595,
-                   'max_latency_ns': 7619.037,
-                   'avg_itbs_per_message': 0.2702702702702703,
+                   'accepted_flits_ns_switch': 0.020266666666666665,
+                   'messages_delivered': 38,
+                   'messages_generated': 36,
+                   'avg_latency_ns': 4407.671605263158,
+                   'avg_network_latency_ns': 4327.61652631579,
+                   'max_latency_ns': 6318.034,
+                   'avg_itbs_per_message': 0.3684210526315789,
                    'itb_overflow_count': 0,
                    'itb_peak_bytes': 519,
-                   'backlog_growth': 0,
-                   'link_digest': '3da43e875791785e'},
+                   'backlog_growth': -2,
+                   'link_digest': 'dc3b26de4810ab8c'},
  'packet-itb-rr': {'offered_flits_ns_switch': 0.02,
-                   'accepted_flits_ns_switch': 0.019733333333333332,
-                   'messages_delivered': 37,
-                   'messages_generated': 37,
-                   'avg_latency_ns': 4289.169,
-                   'avg_network_latency_ns': 4289.169,
-                   'max_latency_ns': 8804.947,
-                   'avg_itbs_per_message': 0.2702702702702703,
+                   'accepted_flits_ns_switch': 0.020266666666666665,
+                   'messages_delivered': 38,
+                   'messages_generated': 36,
+                   'avg_latency_ns': 4900.515184210527,
+                   'avg_network_latency_ns': 4786.503315789473,
+                   'max_latency_ns': 11580.765,
+                   'avg_itbs_per_message': 0.4473684210526316,
                    'itb_overflow_count': 0,
-                   'itb_peak_bytes': 519,
-                   'backlog_growth': 0,
-                   'link_digest': 'b5f2f7c4d299f601'},
+                   'itb_peak_bytes': 1036,
+                   'backlog_growth': -2,
+                   'link_digest': '4e4a4883ebcb2fd2'},
  'flit-updown-sp': {'offered_flits_ns_switch': 0.02,
-                    'accepted_flits_ns_switch': 0.019733333333333332,
-                    'messages_delivered': 37,
-                    'messages_generated': 37,
-                    'avg_latency_ns': 3986.0771621621625,
-                    'avg_network_latency_ns': 3986.0771621621625,
-                    'max_latency_ns': 5520.42,
+                    'accepted_flits_ns_switch': 0.0208,
+                    'messages_delivered': 39,
+                    'messages_generated': 36,
+                    'avg_latency_ns': 4251.632794871795,
+                    'avg_network_latency_ns': 4251.632794871795,
+                    'max_latency_ns': 6867.682,
                     'avg_itbs_per_message': 0.0,
                     'itb_overflow_count': 0,
                     'itb_peak_bytes': 0,
-                    'backlog_growth': 0,
-                    'link_digest': 'a7d9634bbba6ec98'},
+                    'backlog_growth': -3,
+                    'link_digest': '1caedcc71b4289b6'},
  'flit-itb-sp': {'offered_flits_ns_switch': 0.02,
-                 'accepted_flits_ns_switch': 0.019733333333333332,
-                 'messages_delivered': 37,
-                 'messages_generated': 37,
-                 'avg_latency_ns': 4210.472405405405,
-                 'avg_network_latency_ns': 4210.472405405405,
-                 'max_latency_ns': 6874.598,
-                 'avg_itbs_per_message': 0.2702702702702703,
+                 'accepted_flits_ns_switch': 0.020266666666666665,
+                 'messages_delivered': 38,
+                 'messages_generated': 36,
+                 'avg_latency_ns': 4348.11502631579,
+                 'avg_network_latency_ns': 4286.4388947368425,
+                 'max_latency_ns': 5962.584,
+                 'avg_itbs_per_message': 0.3684210526315789,
                  'itb_overflow_count': 0,
                  'itb_peak_bytes': 519,
-                 'backlog_growth': 0,
-                 'link_digest': '9ceb97e4b7e8d3a9'},
+                 'backlog_growth': -2,
+                 'link_digest': '80ecb0f352112f0e'},
  'flit-itb-rr': {'offered_flits_ns_switch': 0.02,
-                 'accepted_flits_ns_switch': 0.019733333333333332,
-                 'messages_delivered': 37,
-                 'messages_generated': 37,
-                 'avg_latency_ns': 4253.440621621622,
-                 'avg_network_latency_ns': 4253.440621621622,
-                 'max_latency_ns': 8232.997,
-                 'avg_itbs_per_message': 0.2702702702702703,
+                 'accepted_flits_ns_switch': 0.020266666666666665,
+                 'messages_delivered': 38,
+                 'messages_generated': 36,
+                 'avg_latency_ns': 4789.174394736842,
+                 'avg_network_latency_ns': 4717.49147368421,
+                 'max_latency_ns': 11019.865,
+                 'avg_itbs_per_message': 0.4473684210526316,
                  'itb_overflow_count': 0,
-                 'itb_peak_bytes': 519,
-                 'backlog_growth': 0,
-                 'link_digest': '552d53e9cb516c48'}}
+                 'itb_peak_bytes': 1036,
+                 'backlog_growth': -2,
+                 'link_digest': 'f9e67200279308dd'}}
 
 
 @pytest.mark.parametrize("label,engine,routing,policy", MATRIX,

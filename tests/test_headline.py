@@ -20,7 +20,7 @@ def results():
     out = {}
     for routing, policy in [("updown", "sp"), ("itb", "sp"), ("itb", "rr")]:
         cfg = SimConfig(topology="torus", routing=routing, policy=policy,
-                        traffic="uniform", injection_rate=0.02, **WINDOW)
+                        traffic="uniform", injection_rate=0.022, **WINDOW)
         out[cfg.label()] = run_simulation(cfg)
     return out
 
@@ -34,7 +34,7 @@ def test_itb_sustains_the_same_load(results):
     assert not results["ITB-RR"].saturated
     for label in ("ITB-SP", "ITB-RR"):
         assert results[label].accepted_flits_ns_switch == \
-            pytest.approx(0.02, rel=0.08)
+            pytest.approx(0.022, rel=0.08)
 
 
 def test_itb_latency_far_below_saturated_updown(results):

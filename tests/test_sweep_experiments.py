@@ -69,7 +69,7 @@ class TestRegistry:
         expected = {"fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10a",
                     "fig10b", "fig11", "fig12a", "fig12b", "fig12c",
                     "table1", "table2", "table3", "resilience", "recovery",
-                    "tournament"}
+                    "tournament", "adversary"}
         assert set(EXPERIMENTS) == expected
 
     def test_kinds(self):

@@ -71,6 +71,23 @@ class TestRunTournament:
         assert len(blob["cells"]) == len(report.cells)
         assert blob["failures"] == 1
 
+    def test_workload_specs_and_pattern_gating(self):
+        """Composite 'pattern+arrival' specs run, and patterns whose
+        capability declaration rejects the topology (bit-reversal on
+        the 18-host torus 3x3) yield unsupported cells, not crashes."""
+        rep = run_tournament(default_entries(["itb"]), (TORUS33,),
+                             ("uniform+onoff", "bit-reversal"), TEST,
+                             seed=1)
+        bursty = rep.cell("ITB-RR", "torus 3x3", "uniform+onoff")
+        assert bursty.supported and bursty.throughput > 0
+        gated = rep.cell("ITB-RR", "torus 3x3", "bit-reversal")
+        assert not gated.supported
+
+    def test_bad_workload_spec_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            run_tournament(default_entries(["itb"]), (TORUS33,),
+                           ("uniform+weibull",), TEST)
+
     def test_cell_task_is_deterministic(self):
         entry = default_entries(["updown"])[0]
         from repro.experiments.tournament import _cell_payload

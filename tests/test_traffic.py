@@ -1,22 +1,40 @@
-"""Traffic patterns and the constant-rate generation process."""
+"""Traffic fabric: patterns, arrival processes, registry, driver.
+
+Property suite over the full registry: every destination pattern is
+checked for in-range / never-self destinations and determinism, every
+arrival process for mean-rate preservation, and the driver for the
+destination/arrival RNG separation that makes destination sequences
+rate-invariant (the paired-comparison guarantee).
+"""
 
 import random
-from collections import Counter
+from collections import Counter, defaultdict
 
 import pytest
 
-from repro.config import PAPER_PARAMS
+from repro.config import PAPER_PARAMS, SimConfig
 from repro.routing.policies import SinglePathPolicy
 from repro.routing.table import compute_tables
 from repro.sim.engine import Simulator
 from repro.sim.network import WormholeNetwork
 from repro.topology import build_torus
 from repro.traffic import make_pattern
+from repro.traffic.arrivals import (AdversarialArrivals, ConstantArrivals,
+                                    OnOffArrivals, PoissonArrivals,
+                                    PoissonBurstArrivals)
 from repro.traffic.base import TrafficProcess, per_host_interval_ps
 from repro.traffic.bitreversal import BitReversalTraffic, reverse_bits
+from repro.traffic.collective import (AllReduceTraffic, AllToAllTraffic,
+                                      IncastTraffic)
 from repro.traffic.hotspot import HotspotTraffic
 from repro.traffic.local import LocalTraffic
 from repro.traffic.permutation import ComplementTraffic, TransposeTraffic
+from repro.traffic.registry import (REQUIRED, available_arrivals,
+                                    available_patterns, get_pattern_spec,
+                                    make_workload, parse_workload,
+                                    supported_patterns, validate_workload,
+                                    workload_label)
+from repro.traffic.trace import TraceReplay, parse_trace_csv
 from repro.traffic.uniform import UniformTraffic
 from repro.units import PS_PER_NS
 
@@ -265,3 +283,364 @@ class TestTrafficProcess:
         sim, net, _ = self.make(g)
         with pytest.raises(ValueError):
             TrafficProcess(sim, net, UniformTraffic(g), 0, 1)
+
+    def test_non_process_arrivals_rejected(self, g):
+        sim, net, _ = self.make(g)
+        with pytest.raises(TypeError):
+            TrafficProcess(sim, net, UniformTraffic(g), "constant", 1)
+
+
+# -- registry-wide property suite --------------------------------------------
+
+
+class RecordingNetwork:
+    """Minimal NetworkModel stand-in: records (time, src, dst) sends."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.sent = []
+
+    def send(self, src, dst):
+        self.sent.append((self.sim.now, src, dst))
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("time_ns,src,dst\n"
+                    "0,0,1\n"
+                    "100,1,2\n"
+                    "250,0,3\n"
+                    "400,2,0\n")
+    return str(path)
+
+
+def _required_kwargs(name, trace_csv):
+    """Minimal kwargs satisfying a pattern's REQUIRED declarations."""
+    kwargs = {}
+    for k in get_pattern_spec(name).kwargs:
+        if k.default is REQUIRED:
+            assert k.name == "path", (
+                f"update the test fixture: pattern {name} requires "
+                f"unknown kwarg {k.name}")
+            kwargs[k.name] = trace_csv
+    return kwargs
+
+
+def _drive(g, traffic, traffic_kwargs, arrival, seed=5,
+           interval=300_000, horizon=20_000_000):
+    """Run one workload on the recording network; return the sends."""
+    sim = Simulator()
+    net = RecordingNetwork(sim)
+    pattern, arrivals = make_workload(g, traffic, traffic_kwargs,
+                                      arrival, {}, interval)
+    proc = TrafficProcess(sim, net, pattern, arrivals, seed)
+    proc.start()
+    sim.run_until(horizon)
+    return net.sent
+
+
+class TestEveryWorkload:
+    """Every registered pattern x every arrival process."""
+
+    @pytest.mark.parametrize("traffic", available_patterns())
+    @pytest.mark.parametrize("arrival", available_arrivals())
+    def test_destinations_in_range_never_self(self, g, traffic, arrival,
+                                              trace_csv):
+        if get_pattern_spec(traffic).provides_arrivals \
+                and arrival != "constant":
+            with pytest.raises(ValueError):
+                validate_workload(traffic,
+                                  _required_kwargs(traffic, trace_csv),
+                                  arrival, {})
+            return
+        if not get_pattern_spec(traffic).supports(g):
+            return
+        sent = _drive(g, traffic, _required_kwargs(traffic, trace_csv),
+                      arrival)
+        assert sent, f"{traffic}+{arrival} generated nothing"
+        for _, src, dst in sent:
+            assert 0 <= dst < g.num_hosts
+            assert dst != src
+
+    @pytest.mark.parametrize("traffic", available_patterns())
+    def test_deterministic_under_fixed_seed(self, g, traffic, trace_csv):
+        if not get_pattern_spec(traffic).supports(g):
+            return
+        kwargs = _required_kwargs(traffic, trace_csv)
+        a = _drive(g, traffic, kwargs, "constant", seed=9)
+        b = _drive(g, traffic, kwargs, "constant", seed=9)
+        assert a == b
+
+
+class TestRngSeparation:
+    """The PR's regression pin: arrival timing draws must never perturb
+    destination draws, so per-host destination sequences are identical
+    across injection rates and across arrival processes."""
+
+    def _sequences(self, g, arrival, interval):
+        seqs = defaultdict(list)
+        for _, src, dst in _drive(g, "uniform", {}, arrival,
+                                  seed=3, interval=interval):
+            seqs[src].append(dst)
+        return seqs
+
+    def test_rate_invariant_destinations(self, g):
+        slow = self._sequences(g, "constant", interval=600_000)
+        fast = self._sequences(g, "constant", interval=150_000)
+        for host in slow:
+            n = min(len(slow[host]), len(fast[host]))
+            assert n > 0
+            assert slow[host][:n] == fast[host][:n]
+
+    def test_arrival_process_invariant_destinations(self, g):
+        baseline = self._sequences(g, "constant", interval=300_000)
+        for arrival in available_arrivals():
+            other = self._sequences(g, arrival, interval=300_000)
+            for host in baseline:
+                n = min(len(baseline[host]), len(other.get(host, [])))
+                assert baseline[host][:n] == other[host][:n], arrival
+
+
+class TestArrivalProcesses:
+    """Mean-rate preservation and shape pins for every process."""
+
+    INTERVAL = 10_000
+
+    def _mean_gap(self, proc, n=100_000):
+        rng = random.Random(42)
+        now = 0
+        for _ in range(n):
+            now = proc.next_fire_ps(0, now, rng)
+        return now / n
+
+    @pytest.mark.parametrize("factory", [
+        lambda i: ConstantArrivals(i),
+        lambda i: PoissonArrivals(i),
+        lambda i: OnOffArrivals(i, duty=0.25, burst=8),
+        lambda i: PoissonBurstArrivals(i, burst=8, spacing_ps=100),
+        lambda i: AdversarialArrivals(i, burst=16, spacing_ps=100),
+    ], ids=["constant", "poisson", "onoff", "burst", "adversarial"])
+    def test_mean_rate_preserved(self, factory):
+        mean = self._mean_gap(factory(self.INTERVAL))
+        assert mean == pytest.approx(self.INTERVAL, rel=0.03)
+
+    def test_onoff_duty_cycle_pin(self):
+        """Within-train gaps run at the peak interval (duty * mean) and
+        make up ~ (burst-1)/burst of all gaps."""
+        duty, burst = 0.25, 8
+        proc = OnOffArrivals(self.INTERVAL, duty=duty, burst=burst)
+        assert proc.peak_interval_ps == round(self.INTERVAL * duty)
+        rng = random.Random(7)
+        now, gaps = 0, []
+        for _ in range(50_000):
+            t = proc.next_fire_ps(0, now, rng)
+            gaps.append(t - now)
+            now = t
+        peak = sum(1 for gap in gaps if gap == proc.peak_interval_ps)
+        assert peak / len(gaps) == pytest.approx((burst - 1) / burst,
+                                                 abs=0.02)
+
+    def test_adversarial_rb_envelope(self):
+        """Injections in any window [s, t] stay under r(t-s) + b."""
+        burst, spacing = 16, 100
+        proc = AdversarialArrivals(self.INTERVAL, burst=burst,
+                                   spacing_ps=spacing)
+        rng = random.Random(1)
+        now, times = 0, []
+        for _ in range(10 * burst):
+            now = proc.next_fire_ps(0, now, rng)
+            times.append(now)
+        r = 1.0 / self.INTERVAL
+        for i, s in enumerate(times):
+            for j in range(i, len(times)):
+                window = times[j] - s
+                count = j - i + 1
+                assert count <= r * window + burst + 1e-9
+
+    def test_adversarial_infeasible_volley_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialArrivals(100, burst=16, spacing_ps=200)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(self.INTERVAL, duty=0.0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(self.INTERVAL, burst=0)
+        with pytest.raises(ValueError):
+            PoissonBurstArrivals(self.INTERVAL, spacing_ps=0)
+        with pytest.raises(ValueError):
+            ConstantArrivals(0)
+
+
+class TestCollectives:
+    def test_all_to_all_cycles_every_peer(self, g):
+        pat = AllToAllTraffic(g)
+        rng = random.Random(1)
+        n = g.num_hosts
+        dests = [pat.destination(4, rng) for _ in range(n - 1)]
+        assert sorted(dests) == sorted(h for h in range(n) if h != 4)
+        # the cycle repeats deterministically
+        assert [pat.destination(4, rng) for _ in range(n - 1)] == dests
+
+    def test_allreduce_ring_successor(self, g):
+        pat = AllReduceTraffic(g, mode="ring")
+        rng = random.Random(1)
+        for h in range(g.num_hosts):
+            assert pat.destination(h, rng) == (h + 1) % g.num_hosts
+
+    def test_allreduce_tree_talks_to_tree_neighbours(self, g):
+        pat = AllReduceTraffic(g, mode="tree")
+        rng = random.Random(1)
+        n = g.num_hosts
+        for h in range(n):
+            neighbours = {p for p in ((h - 1) // 2,) if h > 0}
+            neighbours |= {c for c in (2 * h + 1, 2 * h + 2) if c < n}
+            for _ in range(4):
+                assert pat.destination(h, rng) in neighbours
+
+    def test_allreduce_bad_mode(self, g):
+        with pytest.raises(ValueError):
+            AllReduceTraffic(g, mode="butterfly")
+
+    def test_incast_all_roads_lead_to_target(self, g):
+        pat = IncastTraffic(g, target=5)
+        rng = random.Random(1)
+        for h in pat.active_hosts():
+            assert pat.destination(h, rng) == 5
+        assert 5 not in pat.active_hosts()
+
+    def test_incast_bad_target(self, g):
+        with pytest.raises(ValueError):
+            IncastTraffic(g, target=g.num_hosts)
+
+
+class TestTraceReplay:
+    def test_parse_and_fidelity(self, g, trace_csv):
+        sent = _drive(g, "trace", {"path": trace_csv}, "constant")
+        # replayed exactly: time_ns * 1000 ps, same (src, dst) pairs
+        assert sorted(sent) == [(0, 0, 1), (100_000, 1, 2),
+                                (250_000, 0, 3), (400_000, 2, 0)]
+
+    def test_time_scale(self, g, trace_csv):
+        pat = TraceReplay(g, trace_csv, time_scale=2.0)
+        assert pat.total_messages == 4
+        sim = Simulator()
+        net = RecordingNetwork(sim)
+        proc = TrafficProcess(sim, net, pat, pat, seed=1)
+        proc.start()
+        sim.run_until(10_000_000)
+        assert sorted(net.sent) == [(0, 0, 1), (200_000, 1, 2),
+                                    (500_000, 0, 3), (800_000, 2, 0)]
+
+    def test_headerless_and_errors(self, g, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("0,0,1\n5,1,0\n")
+        assert len(parse_trace_csv(str(p))) == 2
+        p.write_text("")
+        with pytest.raises(ValueError):
+            parse_trace_csv(str(p))
+        p.write_text("-5,0,1\n")
+        with pytest.raises(ValueError):
+            parse_trace_csv(str(p))
+        p.write_text("0,0,999\n")
+        with pytest.raises(ValueError):
+            TraceReplay(g, str(p))
+
+    def test_rejects_composed_arrivals(self, g, trace_csv):
+        with pytest.raises(ValueError, match="own message timing"):
+            validate_workload("trace", {"path": trace_csv}, "poisson", {})
+
+
+class TestRegistryGating:
+    def test_supports_counterexamples(self):
+        g3 = build_torus(rows=1, cols=3, hosts_per_switch=1)  # 3 hosts
+        names = supported_patterns(g3)
+        assert "uniform" in names
+        assert "bit-reversal" not in names
+        assert "complement" not in names
+        with pytest.raises(ValueError, match="power-of-two"):
+            make_pattern("bit-reversal", g3)
+
+    def test_transpose_needs_power_of_four(self, g):
+        # 32 hosts: power of two but not of four
+        assert not get_pattern_spec("transpose").supports(g)
+        g16 = build_torus(rows=4, cols=4, hosts_per_switch=1)
+        assert get_pattern_spec("transpose").supports(g16)
+
+    def test_unknown_names(self, g):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            validate_workload("zipf", {})
+        with pytest.raises(ValueError, match="unknown arrival"):
+            validate_workload("uniform", {}, "weibull", {})
+
+    def test_kwarg_declarations_enforced(self):
+        with pytest.raises(ValueError, match="unknown kwargs"):
+            validate_workload("uniform", {"alpha": 1.0})
+        with pytest.raises(ValueError, match="wants int"):
+            validate_workload("hotspot", {"hotspot": True})
+        with pytest.raises(ValueError, match="wants float"):
+            validate_workload("hotspot", {"fraction": "hot"})
+        with pytest.raises(ValueError, match="requires kwarg"):
+            validate_workload("trace", {})
+        with pytest.raises(ValueError, match="unknown kwargs"):
+            validate_workload("uniform", {}, "onoff", {"burstiness": 2})
+
+    def test_parse_workload_specs(self):
+        assert parse_workload("uniform") == ("uniform", "constant")
+        assert parse_workload("uniform+onoff") == ("uniform", "onoff")
+        with pytest.raises(ValueError):
+            parse_workload("uniform+weibull")
+        with pytest.raises(ValueError):
+            parse_workload("zipf+onoff")
+
+    def test_workload_labels(self):
+        assert workload_label("uniform", {}) == "uniform"
+        assert "+" in workload_label("uniform", {}, "onoff", {})
+        assert "10%" in workload_label("hotspot", {"fraction": 0.10})
+
+    def test_new_pattern_needs_zero_config_edits(self, g):
+        """The acceptance criterion of the registry refactor: register
+        a pattern and it is immediately buildable, validatable and
+        labelled everywhere -- no CLI or config edits."""
+        from repro.traffic.registry import (Kwarg, PatternSpec,
+                                            register_pattern,
+                                            unregister_pattern)
+
+        class EchoTraffic(UniformTraffic):
+            def __init__(self, graph, alpha=1.0):
+                super().__init__(graph)
+                self.alpha = alpha
+
+        register_pattern(PatternSpec(
+            name="echo-test", description="throwaway",
+            build=EchoTraffic,
+            kwargs=(Kwarg("alpha", float, 1.0, "skew"),)))
+        try:
+            assert "echo-test" in available_patterns()
+            cfg = SimConfig(traffic="echo-test",
+                            traffic_kwargs={"alpha": 1.5})
+            cfg.validate()
+            assert cfg.workload_label() == "echo-test(alpha=1.5)"
+            pat = make_pattern("echo-test", g, alpha=1.5)
+            assert pat.alpha == 1.5
+            with pytest.raises(ValueError):
+                register_pattern(PatternSpec(
+                    name="echo-test", description="dup",
+                    build=EchoTraffic))
+        finally:
+            unregister_pattern("echo-test")
+        assert "echo-test" not in available_patterns()
+
+    def test_simconfig_round_trip_every_pattern(self, trace_csv):
+        """Registry names survive SimConfig validate + dict round trip
+        (what the orchestrator's content-addressed store keys on)."""
+        for traffic in available_patterns():
+            kwargs = _required_kwargs(traffic, trace_csv)
+            cfg = SimConfig(traffic=traffic, traffic_kwargs=kwargs)
+            cfg.validate()
+            assert SimConfig.from_dict(cfg.to_dict()) == cfg
+        for arrival in available_arrivals():
+            cfg = SimConfig(arrival=arrival)
+            cfg.validate()
+            assert SimConfig.from_dict(cfg.to_dict()) == cfg
