@@ -52,18 +52,33 @@ ENGINE_PROFILE_CFG = dict(
     injection_rate=0.02,
     warmup_ps=ns(20_000), measure_ps=ns(120_000))
 
-#: sim-core benchmark matrix (BENCH_sim_core.json): one paper-sized
-#: packet-engine point plus a validation-size point per engine, so the
-#: hot-loop throughput of both engines is tracked over time.
+#: the paper-scale workload (8x8 torus, 512 hosts, the saturation-knee
+#: offered load) shared by the ``*-paper`` benchmark points
+_PAPER_SCALE_CFG = dict(
+    topology="torus", topology_kwargs={"rows": 8, "cols": 8},
+    routing="itb", policy="rr", traffic="uniform",
+    injection_rate=0.04, seed=1)
+
+#: sim-core benchmark matrix (BENCH_sim_core.json): a paper-sized point
+#: per engine plus a validation-size point per engine, so every
+#: engine's hot-loop throughput is tracked over time.  ``flit-paper``
+#: runs a reduced window (the flit engine is ~3 orders slower than the
+#: array engine; a full 350 us horizon would dominate the whole bench).
+#: Cross-engine comparisons use ``messages_per_s`` -- events/s counts
+#: heap events, which batch engines deliberately collapse.
 BENCH_CORE_CONFIGS = [
     ("packet-paper", dict(
-        engine="packet", topology="torus",
-        topology_kwargs={"rows": 8, "cols": 8},
-        routing="itb", policy="rr", traffic="uniform",
-        injection_rate=0.04, seed=1,
-        warmup_ps=ns(50_000), measure_ps=ns(300_000))),
+        engine="packet", warmup_ps=ns(50_000), measure_ps=ns(300_000),
+        **_PAPER_SCALE_CFG)),
+    ("array-paper", dict(
+        engine="array", warmup_ps=ns(50_000), measure_ps=ns(300_000),
+        **_PAPER_SCALE_CFG)),
+    ("flit-paper", dict(
+        engine="flit", warmup_ps=ns(10_000), measure_ps=ns(50_000),
+        **_PAPER_SCALE_CFG)),
     ("packet-val", dict(engine="packet", **ENGINE_PROFILE_CFG)),
     ("flit-val", dict(engine="flit", **ENGINE_PROFILE_CFG)),
+    ("array-val", dict(engine="array", **ENGINE_PROFILE_CFG)),
 ]
 
 

@@ -3,14 +3,25 @@
 
 Compares a freshly generated ``BENCH_sim_core.json`` (see
 ``benchmarks/run_paper_profile.py --bench-core-only``) against the
-committed baseline and exits non-zero when any point's ``events_per_s``
-falls more than ``--tolerance`` (default 30 %) below it.
+committed baseline and exits non-zero when:
 
-The gate is deliberately loose: events/sec is machine-dependent and CI
-runners are noisy, so only a large, consistent drop -- the kind a
-hot-path regression produces -- trips it.  Refresh the committed
-baseline (``benchmarks/BENCH_sim_core.json``) whenever the benchmark
-matrix or the CI hardware generation changes.
+* any baseline point is **missing** from the current run (a silently
+  dropped benchmark config would otherwise disable its gate forever);
+* the current run has **extra** points absent from the baseline (the
+  baseline no longer describes the matrix -- regenerate and commit it);
+* any point's ``events_per_s`` or ``messages_per_s`` falls more than
+  ``--tolerance`` (default 30 %) below the baseline.  Events/s tracks
+  the event-loop hot path but is meaningless across engines (batch
+  engines collapse thousands of events into one tick), so messages/s
+  -- simulated messages delivered per wall-clock second -- is gated
+  with it as the cross-engine-honest axis.
+
+The throughput gate is deliberately loose: both axes are
+machine-dependent and CI runners are noisy, so only a large, consistent
+drop -- the kind a hot-path regression produces -- trips it.  The
+matrix-shape checks are exact.  Refresh the committed baseline
+(``benchmarks/BENCH_sim_core.json``) whenever the benchmark matrix or
+the CI hardware generation changes.
 
 Usage:  python scripts/check_bench_regression.py CURRENT BASELINE
             [--tolerance 0.30]
@@ -21,6 +32,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: throughput axes gated per point (fractional-drop tolerance applies
+#: to each independently)
+GATED_METRICS = ("events_per_s", "messages_per_s")
 
 
 def load_points(path: str) -> dict:
@@ -40,7 +55,7 @@ def load_points(path: str) -> dict:
                  f"--bench-core-out")
     points = {}
     for i, p in enumerate(data["points"]):
-        missing = [k for k in ("name", "events_per_s") if k not in p]
+        missing = [k for k in ("name",) + GATED_METRICS if k not in p]
         if missing:
             sys.exit(f"error: {path}: points[{i}] is missing "
                      f"{', '.join(missing)}; regenerate the file with "
@@ -54,7 +69,8 @@ def main() -> int:
     ap.add_argument("current", help="freshly generated BENCH_sim_core.json")
     ap.add_argument("baseline", help="committed baseline to compare against")
     ap.add_argument("--tolerance", type=float, default=0.30,
-                    help="allowed fractional events/sec drop (default 0.30)")
+                    help="allowed fractional throughput drop per metric "
+                         "(default 0.30)")
     args = ap.parse_args()
 
     current = load_points(args.current)
@@ -67,24 +83,29 @@ def main() -> int:
             print(f"{name:14s} MISSING from current run")
             failed.append(name)
             continue
-        floor = base["events_per_s"] * (1.0 - args.tolerance)
-        ratio = (cur["events_per_s"] / base["events_per_s"]
-                 if base["events_per_s"] else float("inf"))
-        ok = cur["events_per_s"] >= floor
-        print(f"{name:14s} {cur['events_per_s']:12,.0f} ev/s "
-              f"vs baseline {base['events_per_s']:12,.0f} "
-              f"({ratio:5.2f}x, floor {floor:12,.0f}) "
-              f"{'ok' if ok else 'REGRESSED'}")
-        if not ok:
-            failed.append(name)
+        for metric in GATED_METRICS:
+            floor = base[metric] * (1.0 - args.tolerance)
+            ratio = (cur[metric] / base[metric]
+                     if base[metric] else float("inf"))
+            ok = cur[metric] >= floor
+            print(f"{name:14s} {metric:14s} {cur[metric]:12,.0f} "
+                  f"vs baseline {base[metric]:12,.0f} "
+                  f"({ratio:5.2f}x, floor {floor:12,.0f}) "
+                  f"{'ok' if ok else 'REGRESSED'}")
+            if not ok and name not in failed:
+                failed.append(name)
     extra = sorted(set(current) - set(baseline))
     if extra:
-        print(f"note: points not in baseline (ignored): {', '.join(extra)}")
+        print(f"FAIL: points not in baseline: {', '.join(extra)}; "
+              f"regenerate and commit benchmarks/BENCH_sim_core.json",
+              file=sys.stderr)
 
     if failed:
-        print(f"FAIL: events/sec regressed beyond "
-              f"{args.tolerance:.0%} on: {', '.join(failed)}",
+        print(f"FAIL: throughput regressed beyond "
+              f"{args.tolerance:.0%} (or point missing) on: "
+              f"{', '.join(failed)}",
               file=sys.stderr)
+    if failed or extra:
         return 1
     print("sim-core benchmark within tolerance")
     return 0

@@ -28,6 +28,8 @@ from ..metrics.summary import RunSummary
 from ..perf import PerfRecorder, now as _now, profile_to
 from ..routing.policies import make_policy
 from ..routing.table import RoutingTables, compute_tables
+from ..sim.base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
+                        CAP_ITB_POOL, NO_ITB_STATS)
 from ..sim.engine import Simulator
 from ..sim.engines import make_network
 from ..sim.faults import FaultPlan
@@ -41,6 +43,14 @@ from ..traffic.registry import make_workload
 
 _GRAPH_CACHE: Dict[Tuple, NetworkGraph] = {}
 _TABLE_CACHE: Dict[Tuple, RoutingTables] = {}
+#: memoised pregenerated schedules (batch-inject path): a schedule is a
+#: pure function of (topology, workload spec, interval, seed, horizon),
+#: so paired runs sharing a seed -- policy/scheme comparisons on
+#: identical traffic, benchmark repeats -- reuse it instead of
+#: re-drawing ~2 RNG streams per host.  Entries are read-only
+#: (engines copy what they need); capped FIFO to bound memory.
+_SCHEDULE_CACHE: Dict[Tuple, list] = {}
+_SCHEDULE_CACHE_MAX = 8
 
 
 def _freeze_kwargs(kwargs: Mapping[str, Any]) -> Tuple:
@@ -80,9 +90,10 @@ def get_tables(g: NetworkGraph, topology_key: Tuple, scheme: str,
 
 
 def clear_caches() -> None:
-    """Drop memoised graphs and routing tables (tests use this)."""
+    """Drop memoised graphs, tables and schedules (tests use this)."""
     _GRAPH_CACHE.clear()
     _TABLE_CACHE.clear()
+    _SCHEDULE_CACHE.clear()
 
 
 def run_simulation(config: SimConfig, collect_links: bool = False,
@@ -163,6 +174,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     config.validate()
     if graph is not None:
         g = graph
+        topo_key = None          # anonymous graph: schedules not memoised
         if tables is None:
             tables = compute_tables(g, config.routing, root,
                                     config.params.max_routes_per_pair,
@@ -181,6 +193,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                            config.params,
                            message_bytes=config.message_bytes)
     collector = LatencyCollector(keep_samples=collect_percentiles)
+    caps = network.capabilities()
     transport = None
     if reliable:
         transport = ReliableTransport(network,
@@ -188,10 +201,17 @@ def _run_simulation(config: SimConfig, collect_links: bool,
         # the collector sees unique messages at message latency, not
         # per-attempt deliveries (duplicates are suppressed upstream)
         transport.add_message_callback(collector.on_delivered)
+    elif (CAP_BATCH_DELIVERY in caps and not policy.needs_feedback
+          and fault_plan is None):
+        # batch engines report delivery cohorts straight into the
+        # collector; per-packet callbacks stay off the hot path
+        network.delivery_sink = collector
     else:
         network.add_delivery_callback(collector.on_delivered)
-    # adaptive policies learn from delivery latencies (no-op for others)
-    network.add_delivery_callback(policy.feedback)
+    # adaptive policies learn from delivery latencies; stateless ones
+    # declare needs_feedback=False and skip the per-delivery call
+    if policy.needs_feedback:
+        network.add_delivery_callback(policy.feedback)
     manager = None
     if reconfig:
         manager = ReconfigurationManager(
@@ -236,10 +256,35 @@ def _run_simulation(config: SimConfig, collect_links: bool,
             network.add_delivery_callback(tracker.on_delivered)
 
     t_setup_done = _now()
-    traffic.start()
+    if (CAP_BATCH_INJECT in caps and transport is None
+            and not config.max_messages):
+        # batch engines take the whole deterministic schedule up front
+        # (identical RNG streams, see TrafficProcess.pregenerate) so no
+        # per-message generation events hit the heap
+        t_end = config.warmup_ps + config.measure_ps
+        skey = None
+        if topo_key is not None:
+            skey = (topo_key, config.traffic,
+                    _freeze_kwargs(config.traffic_kwargs),
+                    config.arrival, _freeze_kwargs(config.arrival_kwargs),
+                    interval, config.seed, t_end)
+        schedule = _SCHEDULE_CACHE.get(skey) if skey is not None else None
+        if schedule is None:
+            schedule = traffic.pregenerate(t_end)
+            if skey is not None:
+                if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+                    _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+                _SCHEDULE_CACHE[skey] = schedule
+        else:
+            traffic.adopt_schedule(schedule)
+        network.prime_schedule(schedule)
+    else:
+        traffic.start()
     sim.run_until(config.warmup_ps)
-    collector.reset()
+    # engine first: batch engines flush work at or before the warm-up
+    # boundary into the collector, which the reset below then discards
     network.reset_stats()
+    collector.reset()
     if tracker is not None:
         tracker.start(config.warmup_ps)
     delivered_before = network.delivered
@@ -250,6 +295,7 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     reconfig_before = manager.reconfigurations if manager is not None else 0
     backlog_before = network.in_flight
     sim.run_until(config.warmup_ps + config.measure_ps)
+    network.finalize()
     t_sim_done = _now()
     backlog_growth = network.in_flight - backlog_before
 
@@ -286,7 +332,10 @@ def _run_simulation(config: SimConfig, collect_links: bool,
         if ttr is not None:
             time_to_recover_ns = ttr / 1_000
 
-    itb = network.itb_stats()
+    # engines without a finite-pool model have no ITB statistics to
+    # report; zeros are the true values for an unbounded pool
+    itb = (network.itb_stats() if CAP_ITB_POOL in caps
+           else NO_ITB_STATS)
     return RunSummary(
         config=config,
         offered_flits_ns_switch=effective_rate,

@@ -10,19 +10,25 @@ its two latencies:
 * **network latency** -- first flit injected to full delivery (the
   paper's definition: "the elapsed time between the injection of a
   message into the network at the source host until it is delivered").
+
+Batch engines (:data:`~repro.sim.base.CAP_BATCH_DELIVERY`) bypass the
+per-packet callback and push whole delivery cohorts through
+:meth:`record_batch`; both paths feed the same accumulators, so every
+derived metric is delivery-path independent.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..sim.packet import Packet
 
 
 class LatencyCollector:
     """Accumulates delivery statistics; attach via
-    ``network.add_delivery_callback(collector.on_delivered)``."""
+    ``network.add_delivery_callback(collector.on_delivered)`` or hand
+    the collector itself to a batch engine as its delivery sink."""
 
     def __init__(self, keep_samples: bool = False) -> None:
         #: retain every latency sample (ns-precision percentiles) --
@@ -37,6 +43,11 @@ class LatencyCollector:
         self.sum_itbs = 0
         self.sum_itb_overflows = 0
         self.samples_ps: List[int] = []
+        #: sorted view of ``samples_ps``, rebuilt lazily by
+        #: :meth:`percentile_ns` and dropped on every new sample --
+        #: repeated percentile queries (tournament cells ask for
+        #: p50/p99 per cell) then sort once, not once per call
+        self._sorted_samples: Optional[List[int]] = None
 
     def on_delivered(self, pkt: Packet) -> None:
         if not self.active:
@@ -52,6 +63,30 @@ class LatencyCollector:
         self.sum_itb_overflows += pkt.itb_overflows
         if self.keep_samples:
             self.samples_ps.append(lat)
+            self._sorted_samples = None
+
+    def record_batch(self, latency_ps: Sequence[int],
+                     network_latency_ps: Sequence[int],
+                     payload_bytes: Sequence[int],
+                     itbs: Sequence[int],
+                     itb_overflows: Sequence[int]) -> None:
+        """Record one delivery cohort (parallel sequences, one entry per
+        message).  Semantically identical to calling :meth:`on_delivered`
+        once per message, without materialising packets."""
+        if not self.active or not len(latency_ps):
+            return
+        self.messages += len(latency_ps)
+        self.payload_flits += sum(payload_bytes)
+        self.sum_latency_ps += sum(latency_ps)
+        self.sum_network_latency_ps += sum(network_latency_ps)
+        batch_max = max(latency_ps)
+        if batch_max > self.max_latency_ps:
+            self.max_latency_ps = batch_max
+        self.sum_itbs += sum(itbs)
+        self.sum_itb_overflows += sum(itb_overflows)
+        if self.keep_samples:
+            self.samples_ps.extend(int(v) for v in latency_ps)
+            self._sorted_samples = None
 
     def reset(self) -> None:
         """Zero everything (end of warm-up)."""
@@ -63,6 +98,7 @@ class LatencyCollector:
         self.sum_itbs = 0
         self.sum_itb_overflows = 0
         self.samples_ps.clear()
+        self._sorted_samples = None
 
     # -- derived metrics ----------------------------------------------------
 
@@ -103,6 +139,8 @@ class LatencyCollector:
             return None
         if not (0.0 <= q <= 1.0):
             raise ValueError("percentile must be in [0, 1]")
-        data = sorted(self.samples_ps)
+        data = self._sorted_samples
+        if data is None:
+            data = self._sorted_samples = sorted(self.samples_ps)
         idx = max(0, math.ceil(q * len(data)) - 1)
         return data[idx] / 1_000

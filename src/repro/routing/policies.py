@@ -28,6 +28,12 @@ class PathSelectionPolicy(ABC):
 
     name: str = "abstract"
 
+    #: whether :meth:`feedback` actually consumes delivery
+    #: notifications -- stateless policies leave this False so callers
+    #: (the runner, batch engines) can skip the per-packet callback
+    #: entirely instead of invoking a no-op for every delivery
+    needs_feedback: bool = False
+
     @abstractmethod
     def select_index(self, src_host: int, dst_host: int,
                      alternatives: Sequence[SourceRoute]) -> int:
@@ -93,7 +99,15 @@ class RoundRobinPolicy(PathSelectionPolicy):
         key = (src_host, dst_host)
         i = self._next.get(key)
         if i is None:
-            i = self._start_index(src_host, dst_host)
+            # first packet of the pair: _start_index inlined (this is
+            # the common case under uniform traffic -- most pairs send
+            # once -- and sits on every engine's admission hot path)
+            if self._staggered:
+                x = src_host * 2654435761 ^ dst_host * 2246822519
+                x ^= x >> 13
+                i = x & 0x7FFFFFFF
+            else:
+                i = 0
         i %= len(alternatives)
         self._next[key] = i + 1
         return i
@@ -128,6 +142,7 @@ class AdaptivePolicy(PathSelectionPolicy):
     """
 
     name = "adaptive"
+    needs_feedback = True
 
     def __init__(self, seed: int = 0, epsilon: float = 0.1,
                  alpha: float = 0.25) -> None:

@@ -17,17 +17,27 @@ with :func:`make_network`; two ship in-tree:
   80-byte slack buffers and the 56/40-byte stop&go protocol; much
   slower, used to validate the packet-level approximation on small
   networks.
+* ``"array"`` (:mod:`arrayengine`) -- a **batched greedy-reservation
+  model** over flat numpy channel/packet arrays, processing admissions
+  and deliveries at fixed-stride ticks instead of one heap event per
+  arbitration step.  Bit-identical to the packet engine when
+  uncontended, an order of magnitude faster at paper scale; declares
+  link statistics plus the batch injection/delivery capabilities and
+  declines the rest.
 
-Both declare the full capability set (link statistics, ITB pool,
-tracing), so metrics and traces are engine-uniform.  :mod:`engine`
-provides the shared event queue.
+The event-driven engines declare the full capability set (link
+statistics, ITB pool, tracing), so metrics and traces are
+engine-uniform; capability-declining engines raise
+:class:`UnsupportedCapability` instead of fabricating numbers.
+:mod:`engine` provides the shared event queue.
 """
 
 from __future__ import annotations
 
-from .base import (ALL_CAPABILITIES, CAP_DYNAMIC_FAULTS, CAP_ITB_POOL,
+from .base import (ALL_CAPABILITIES, CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
+                   CAP_DYNAMIC_FAULTS, CAP_ITB_POOL,
                    CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
-                   ItbStats, LinkChannelStats, NetworkModel,
+                   ItbStats, LinkChannelStats, NetworkModel, NO_ITB_STATS,
                    UnsupportedCapability)
 from .engine import Simulator, DeadlockError
 from .faults import FaultPlan, LinkFault
@@ -37,18 +47,21 @@ from .nic import MessageSequencer
 from .packet import Packet
 from .network import WormholeNetwork
 from .flitlevel import FlitLevelNetwork
+from .arrayengine import ArrayNetwork
 from .reliable import (ReconfigParams, ReconfigurationManager,
                        ReliableParams, ReliableTransport)
 from .trace import PacketTracer, TraceEvent, format_trace
 
 __all__ = ["Simulator", "DeadlockError", "Packet", "NetworkModel",
            "UnsupportedCapability", "LinkChannelStats", "ItbStats",
+           "NO_ITB_STATS",
            "ALL_CAPABILITIES", "CAP_LINK_STATS", "CAP_ITB_POOL",
            "CAP_TRACE", "CAP_DYNAMIC_FAULTS", "CAP_RELIABLE_DELIVERY",
+           "CAP_BATCH_INJECT", "CAP_BATCH_DELIVERY",
            "FaultPlan", "LinkFault", "MessageSequencer",
            "ReliableParams", "ReliableTransport", "ReconfigParams",
            "ReconfigurationManager",
            "register", "unregister", "available_engines",
            "engine_capabilities", "get_engine", "make_network",
-           "WormholeNetwork", "FlitLevelNetwork", "PacketTracer",
-           "TraceEvent", "format_trace"]
+           "WormholeNetwork", "FlitLevelNetwork", "ArrayNetwork",
+           "PacketTracer", "TraceEvent", "format_trace"]

@@ -63,11 +63,22 @@ CAP_DYNAMIC_FAULTS = "dynamic_faults"
 #: retransmissions, and mid-run route-table hot swap
 #: (:class:`~repro.sim.reliable.ReliableTransport`)
 CAP_RELIABLE_DELIVERY = "reliable_delivery"
+#: engine accepts a pregenerated traffic schedule in one call
+#: (:meth:`NetworkModel.prime_schedule`) instead of per-message
+#: ``send`` events -- the batch engines use this to keep message
+#: creation off the event heap entirely
+CAP_BATCH_INJECT = "batch_inject"
+#: engine can report deliveries through a vectorised sink
+#: (:attr:`NetworkModel.delivery_sink`, duck-typed to
+#: :meth:`~repro.metrics.collector.LatencyCollector.record_batch`)
+#: instead of one callback invocation per packet
+CAP_BATCH_DELIVERY = "batch_delivery"
 
 #: every capability a backend may declare
 ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
                               CAP_DYNAMIC_FAULTS,
-                              CAP_RELIABLE_DELIVERY})
+                              CAP_RELIABLE_DELIVERY,
+                              CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
 
 
 class UnsupportedCapability(RuntimeError):
@@ -161,6 +172,9 @@ class NetworkModel(ABC):
         #: optional :class:`~repro.sim.trace.PacketTracer`; engines
         #: without :data:`CAP_TRACE` reject assignment (see setter)
         self._tracer: Optional[PacketTracer] = None
+        #: optional batch delivery sink; engines without
+        #: :data:`CAP_BATCH_DELIVERY` reject assignment (see setter)
+        self._delivery_sink = None
         self._build()
 
     # -- engine contract ---------------------------------------------------
@@ -209,6 +223,35 @@ class NetworkModel(ABC):
         raise NotImplementedError(
             f"engine {self.name!r} declares {CAP_ITB_POOL!r} but does "
             "not implement itb_stats()")
+
+    # -- batch interfaces (engines declaring the CAP_BATCH_* caps) ---------
+
+    def prime_schedule(self, schedule) -> None:
+        """Hand the engine a pregenerated traffic schedule: an iterable
+        of ``(t_ps, src_host, dst_host)`` sorted by time (requires
+        :data:`CAP_BATCH_INJECT`).  Entries are injected exactly as if
+        ``send(src, dst)`` had been called at ``t_ps``, without one
+        event per message on the heap."""
+        self.require(CAP_BATCH_INJECT)
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_BATCH_INJECT!r} but "
+            "does not implement prime_schedule()")
+
+    @property
+    def delivery_sink(self):
+        return self._delivery_sink
+
+    @delivery_sink.setter
+    def delivery_sink(self, sink) -> None:
+        if sink is not None:
+            self.require(CAP_BATCH_DELIVERY)
+        self._delivery_sink = sink
+
+    def finalize(self) -> None:
+        """Flush any batched work up to the current sim time (no-op for
+        purely event-driven engines).  The runner calls this after the
+        final ``run_until`` so batch engines account every delivery with
+        ``t <= now`` before the summary is read."""
 
     # -- tracer ------------------------------------------------------------
 

@@ -174,6 +174,75 @@ class TrafficProcess:
         """Cease generation; in-flight messages drain normally."""
         self._stopped = True
 
+    def pregenerate(self, t_end_ps: int) -> list:
+        """The full ``(t_ps, src, dst)`` schedule up to ``t_end_ps``,
+        without scheduling anything on the simulator.
+
+        Produces exactly the message set the event-driven path
+        (:meth:`start` + ``_tick``) would generate: each host's
+        destination and arrival streams are seeded identically and
+        consumed in the same order, and both streams are independent of
+        simulator state, so replaying them off-line is equivalent.  The
+        result is sorted by ``(t, src)``; batch engines
+        (:data:`~repro.sim.base.CAP_BATCH_INJECT`) consume it through
+        ``network.prime_schedule``.
+
+        ``max_messages`` caps generation *globally* in the event-driven
+        path (the count depends on cross-host delivery interleaving),
+        which an off-line replay cannot reproduce -- callers must fall
+        back to :meth:`start` in that case.
+        """
+        if self._started:
+            raise RuntimeError("traffic process already started")
+        if self.max_messages:
+            raise RuntimeError(
+                "pregenerate() cannot honour a global max_messages cap; "
+                "use start()")
+        self._started = True
+        now0 = self.sim.now
+        seed = self.seed
+        destination = self.pattern.destination
+        next_fire = self.arrivals.next_fire_ps
+        out = []
+        append = out.append
+        for host in self.pattern.active_hosts():
+            dest_rng = random.Random(f"{seed}:{host}")
+            arr_rng = random.Random(f"{seed}:arrival:{host}")
+            t = next_fire(host, now0, arr_rng)
+            if t is None:
+                continue
+            cur = max(t, now0)
+            while cur <= t_end_ps:
+                dst = destination(host, dest_rng)
+                if dst is not None and dst != host:
+                    append((cur, host, dst))
+                t = next_fire(host, cur, arr_rng)
+                if t is None:
+                    break
+                cur = max(t, cur)
+        out.sort()
+        self.generated = len(out)
+        return out
+
+    def adopt_schedule(self, schedule: list) -> None:
+        """Account for a schedule this process *would* have produced.
+
+        Deterministic workloads are pure functions of their
+        configuration, so the runner memoises :meth:`pregenerate`
+        results across runs sharing a seed (paired policy comparisons,
+        benchmark repeats).  On a cache hit it calls this instead: the
+        process marks itself started -- the schedule's RNG draws are
+        morally consumed -- and reports the schedule's size as its
+        generation count, exactly as the fresh call would have.
+        """
+        if self._started:
+            raise RuntimeError("traffic process already started")
+        if self.max_messages:
+            raise RuntimeError(
+                "adopt_schedule() cannot honour a global max_messages cap")
+        self._started = True
+        self.generated = len(schedule)
+
     def _tick(self, host: int, dest_rng: random.Random,
               arr_rng: random.Random) -> None:
         if self._stopped:

@@ -1,0 +1,278 @@
+"""Array-engine unit suite: invariants the batch engine pins on its
+own, independent of the cross-engine parity tests.
+
+* **stride invariance** -- the tick stride chops the timeline but may
+  never change a computed timestamp;
+* **scalar / vector identity** -- the numpy cohort kernel is an
+  optimisation of the scalar walk, bit for bit;
+* **batch inject == event-driven send** -- a primed schedule is just
+  the ``send()`` stream without the per-message heap events;
+* **capability honesty** -- declined capabilities raise instead of
+  returning fabricated numbers;
+* **schedule memoisation** -- the runner's cross-run schedule cache is
+  observationally invisible.
+"""
+
+import random
+
+import pytest
+
+from repro.config import PAPER_PARAMS, SimConfig
+from repro.experiments.runner import clear_caches, run_simulation
+from repro.routing.policies import make_policy
+from repro.routing.table import compute_tables
+from repro.sim import (PacketTracer, Simulator, UnsupportedCapability,
+                       engine_capabilities, make_network)
+from repro.sim.arrayengine import ArrayNetwork
+from repro.sim.base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
+                            CAP_LINK_STATS)
+from repro.sim.faults import FaultPlan
+from repro.topology import build_torus
+from repro.units import ns
+
+P = PAPER_PARAMS
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_torus(rows=4, cols=4, hosts_per_switch=2)
+
+
+@pytest.fixture(scope="module")
+def tables(graph):
+    return compute_tables(graph, "itb")
+
+
+def make_schedule(graph, count, spacing_ps, seed=11, jitter=True):
+    """``count`` (t, src, dst) entries, ``spacing_ps`` apart (with some
+    same-instant bursts when ``jitter``)."""
+    rng = random.Random(seed)
+    n = graph.num_hosts
+    sched, t = [], 0
+    while len(sched) < count:
+        t += spacing_ps
+        burst = rng.randrange(1, 4) if jitter else 1
+        for _ in range(min(burst, count - len(sched))):
+            s, d = rng.randrange(n), rng.randrange(n)
+            if s == d:
+                d = (d + 1) % n
+            sched.append((t, s, d))
+    return sched
+
+
+def run_primed(graph, tables, sched, collect=True):
+    """Prime ``sched`` into a fresh array engine, run to idle, return
+    the delivery records and the per-channel flit map."""
+    sim = Simulator()
+    net = make_network("array", sim, graph, tables, make_policy("rr"), P)
+    out = []
+    if collect:
+        net.add_delivery_callback(
+            lambda p: out.append((p.pid, p.injected_ps, p.delivered_ps,
+                                  p.num_itbs)))
+    net.prime_schedule(sched)
+    sim.run_until(10 ** 13)
+    net.finalize()
+    links = {(c.src, c.dst, c.link_id): (c.flits, c.reserved_ps)
+             for c in net.link_flit_counts()}
+    return sorted(out), net.delivered, links
+
+
+class TestCapabilities:
+    def test_declared_capabilities(self):
+        assert engine_capabilities("array") == frozenset(
+            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
+
+    def test_declined_capabilities_raise(self, graph, tables):
+        net = make_network("array", Simulator(), graph, tables,
+                           make_policy("rr"), P)
+        with pytest.raises(UnsupportedCapability, match="itb_pool"):
+            net.itb_stats()
+        with pytest.raises(UnsupportedCapability, match="trace"):
+            net.tracer = PacketTracer()
+        with pytest.raises(UnsupportedCapability,
+                           match="reliable_delivery"):
+            net.swap_tables(tables)
+        with pytest.raises(UnsupportedCapability, match="dynamic_faults"):
+            net.install_fault_plan(FaultPlan([]))
+
+    def test_runner_rejects_capability_mismatch(self):
+        cfg = SimConfig(engine="array", topology="torus",
+                        topology_kwargs={"rows": 4, "cols": 4,
+                                         "hosts_per_switch": 2},
+                        routing="itb", policy="rr", traffic="uniform",
+                        injection_rate=0.01, seed=3,
+                        warmup_ps=ns(10_000), measure_ps=ns(30_000))
+        with pytest.raises(UnsupportedCapability):
+            run_simulation(cfg, fault_plan=FaultPlan([]))
+
+
+class TestPrimeSchedule:
+    def test_unsorted_schedule_rejected(self, graph, tables):
+        net = make_network("array", Simulator(), graph, tables,
+                           make_policy("rr"), P)
+        with pytest.raises(ValueError, match="sorted"):
+            net.prime_schedule([(2_000, 0, 1), (1_000, 2, 3)])
+
+    def test_double_prime_rejected(self, graph, tables):
+        net = make_network("array", Simulator(), graph, tables,
+                           make_policy("rr"), P)
+        net.prime_schedule([(1_000, 0, 1)])
+        with pytest.raises(RuntimeError, match="already pending"):
+            net.prime_schedule([(2_000, 2, 3)])
+
+    def test_empty_schedule_is_noop(self, graph, tables):
+        sim = Simulator()
+        net = make_network("array", sim, graph, tables,
+                           make_policy("rr"), P)
+        net.prime_schedule([])
+        sim.run_until_idle()
+        assert net.generated == net.delivered == 0
+
+
+class TestStrideInvariance:
+    def test_timestamps_independent_of_stride(self, graph, tables,
+                                              monkeypatch):
+        sched = make_schedule(graph, 60, 40_000)
+        results = []
+        for stride in (7_777, 250_000, 4_000_000, 10 ** 9):
+            monkeypatch.setattr(ArrayNetwork, "STRIDE_PS", stride)
+            results.append(run_primed(graph, tables, sched))
+        for other in results[1:]:
+            assert other == results[0]
+
+
+class TestScalarVectorIdentity:
+    def test_vector_kernel_matches_scalar_walk(self, graph, tables,
+                                               monkeypatch):
+        # many same-instant cohorts (all-at-once bursts) so the vector
+        # kernel actually fires when the threshold allows it
+        rng = random.Random(5)
+        n = graph.num_hosts
+        sched = []
+        for k in range(4):
+            t = (k + 1) * 200_000
+            for _ in range(48):
+                s, d = rng.randrange(n), rng.randrange(n)
+                if s == d:
+                    d = (d + 1) % n
+                sched.append((t, s, d))
+        monkeypatch.setattr(ArrayNetwork, "VECTOR_THRESHOLD", 10 ** 9)
+        scalar = run_primed(graph, tables, sched)
+        monkeypatch.setattr(ArrayNetwork, "VECTOR_THRESHOLD", 2)
+        vector = run_primed(graph, tables, sched)
+        assert vector == scalar
+
+    def test_vector_kernel_matches_scalar_on_sink_path(self, graph,
+                                                       tables,
+                                                       monkeypatch):
+        sched = make_schedule(graph, 120, 3_000, seed=23)
+        monkeypatch.setattr(ArrayNetwork, "VECTOR_THRESHOLD", 10 ** 9)
+        scalar = run_primed(graph, tables, sched, collect=False)
+        monkeypatch.setattr(ArrayNetwork, "VECTOR_THRESHOLD", 2)
+        vector = run_primed(graph, tables, sched, collect=False)
+        assert vector == scalar
+
+
+class TestBatchInjectExactness:
+    def test_primed_schedule_equals_event_driven_send(self, graph,
+                                                      tables):
+        sched = make_schedule(graph, 50, 25_000, seed=17)
+        primed = run_primed(graph, tables, sched)
+
+        sim = Simulator()
+        net = make_network("array", sim, graph, tables,
+                           make_policy("rr"), P)
+        out = []
+        net.add_delivery_callback(
+            lambda p: out.append((p.pid, p.injected_ps, p.delivered_ps,
+                                  p.num_itbs)))
+        for (t, s, d) in sched:
+            sim.at(t, lambda s=s, d=d: net.send(s, d))
+        sim.run_until_idle()
+        net.finalize()
+        links = {(c.src, c.dst, c.link_id): (c.flits, c.reserved_ps)
+                 for c in net.link_flit_counts()}
+        assert (sorted(out), net.delivered, links) == primed
+
+
+class TestUncontendedBitIdentity:
+    def test_matches_packet_engine_when_uncontended(self, graph,
+                                                    tables):
+        """Widely spaced single packets: both wormhole regimes collapse
+        to the same closed form, so timestamps agree bit for bit
+        (compare ``pkt.delivered_ps`` -- the array engine's callbacks
+        fire at tick time, its packet timestamps are exact)."""
+        sched = make_schedule(graph, 12, 20_000_000, seed=29,
+                              jitter=False)
+        results = {}
+        for name in ("packet", "array"):
+            sim = Simulator()
+            net = make_network(name, sim, graph, tables,
+                               make_policy("rr"), P)
+            out = []
+            net.add_delivery_callback(
+                lambda p: out.append((p.pid, p.injected_ps,
+                                      p.delivered_ps, p.num_itbs)))
+            if name == "array":
+                net.prime_schedule(sched)
+                sim.run_until(10 ** 13)
+                net.finalize()
+            else:
+                for (t, s, d) in sched:
+                    sim.at(t, lambda s=s, d=d: net.send(s, d))
+                sim.run_until_idle()
+            results[name] = sorted(out)
+        assert results["array"] == results["packet"]
+        assert len(results["array"]) == len(sched)
+
+
+class TestScheduleMemoisation:
+    CFG = dict(engine="array", topology="torus",
+               topology_kwargs={"rows": 4, "cols": 4,
+                                "hosts_per_switch": 2},
+               routing="itb", policy="rr", traffic="uniform",
+               injection_rate=0.02, seed=7,
+               warmup_ps=ns(20_000), measure_ps=ns(60_000))
+
+    def test_cache_hit_is_invisible(self):
+        clear_caches()
+        cold = run_simulation(SimConfig(**self.CFG))
+        warm = run_simulation(SimConfig(**self.CFG))  # schedule-cache hit
+        assert warm == cold
+        clear_caches()
+        fresh = run_simulation(SimConfig(**self.CFG))
+        assert fresh == cold
+
+    def test_cache_shared_across_engines(self):
+        """The memo key excludes the engine: a packet run after an
+        array run reuses the workload (paired comparisons), without
+        changing either result."""
+        clear_caches()
+        pkt_cold = run_simulation(SimConfig(**{**self.CFG,
+                                               "engine": "packet"}))
+        run_simulation(SimConfig(**self.CFG))
+        pkt_warm = run_simulation(SimConfig(**{**self.CFG,
+                                               "engine": "packet"}))
+        assert pkt_warm == pkt_cold
+
+    def test_adopt_schedule_guards(self, graph, tables):
+        from repro.traffic import TrafficProcess, per_host_interval_ps
+        from repro.traffic.registry import make_workload
+
+        def fresh():
+            sim = Simulator()
+            net = make_network("array", sim, graph, tables,
+                               make_policy("rr"), P)
+            interval = per_host_interval_ps(0.02, 512, graph)
+            pattern, arrivals = make_workload(graph, "uniform", {},
+                                              "constant", {}, interval)
+            return TrafficProcess(sim, net, pattern, arrivals, seed=1)
+
+        tr = fresh()
+        sched = tr.pregenerate(ns(30_000))
+        with pytest.raises(RuntimeError, match="already started"):
+            tr.adopt_schedule(sched)
+        tr2 = fresh()
+        tr2.adopt_schedule(sched)
+        assert tr2.generated == len(sched)

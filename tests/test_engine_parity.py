@@ -282,6 +282,59 @@ class TestWindowedParity:
             assert u.reserved.max() > 0
 
 
+class TestArrayEngineParity:
+    """The array engine against the packet engine, within its declared
+    capability envelope (no ITB-pool stats, no tracing): a drained
+    workload must agree on every message and per-channel flit count;
+    windowed runs may differ only by the documented contention slack."""
+
+    def test_capability_matrix(self):
+        from repro.sim import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT)
+        assert engine_capabilities("array") == frozenset(
+            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
+
+    def test_drained_counts_and_link_flits_identical(
+            self, torus44_graph, torus44_itb_tables, traffic_pairs):
+        results = {}
+        for name in ("packet", "array"):
+            net, pkts = drained_batch(name, torus44_graph,
+                                      torus44_itb_tables, traffic_pairs)
+            assert net.generated == len(traffic_pairs)
+            assert net.delivered == len(traffic_pairs)
+            assert net.in_flight == 0
+            results[name] = {
+                "itb_hist": Counter(p.num_itbs for p in pkts),
+                "links": {(c.src, c.dst, c.link_id): c.flits
+                          for c in net.link_flit_counts()},
+            }
+        assert results["packet"] == results["array"]
+        assert sum(results["packet"]["links"].values()) > 0
+
+    def test_windowed_run_within_documented_slack(self):
+        """Through the registry and runner: generation identical (the
+        same pregenerated workload), delivery and ITB load within the
+        greedy-reservation slack (DESIGN section 15) -- under light
+        load the approximation barely bites."""
+        out = {}
+        for name in ("packet", "array"):
+            out[name] = run_simulation(
+                small_config(engine=name, injection_rate=0.01,
+                             warmup_ps=ns(20_000),
+                             measure_ps=ns(100_000)),
+                collect_links=True)
+        pkt, arr = out["packet"], out["array"]
+        assert pkt.messages_generated == arr.messages_generated
+        assert pkt.messages_delivered == pytest.approx(
+            arr.messages_delivered, abs=3)
+        assert pkt.avg_itbs_per_message == pytest.approx(
+            arr.avg_itbs_per_message, abs=0.25)
+        assert pkt.avg_latency_ns == pytest.approx(
+            arr.avg_latency_ns, rel=0.10)
+        # aggregate flit load agrees like the flit engine does
+        assert arr.link_utilization.utilization.sum() == pytest.approx(
+            pkt.link_utilization.utilization.sum(), rel=0.10)
+
+
 class TestMutatedTopologyParity:
     """Both engines agree on a *broken* fabric too: a torus minus two
     cables (rebuilt routing stack included) drains bit-identically."""
@@ -294,6 +347,24 @@ class TestMutatedTopologyParity:
                           failed_links=[3, 17])
         check_topology(g)  # every mutated graph passes the invariants
         return g, compute_tables(g, "itb")
+
+    def test_array_engine_agrees_on_mutated_fabric(self, mutated,
+                                                   traffic_pairs):
+        """The 2-failed-link config from the parity matrix, on the
+        array engine: identical drained accounting to the packet
+        engine over the rebuilt (renumbered) routing stack."""
+        g, tables = mutated
+        results = {}
+        for name in ("packet", "array"):
+            net, pkts = drained_batch(name, g, tables, traffic_pairs)
+            assert net.delivered == len(traffic_pairs)
+            assert net.in_flight == 0
+            results[name] = {
+                "itb_hist": Counter(p.num_itbs for p in pkts),
+                "links": {(c.src, c.dst, c.link_id): c.flits
+                          for c in net.link_flit_counts()},
+            }
+        assert results["packet"] == results["array"]
 
     def test_drained_accounting_identical(self, mutated, traffic_pairs):
         g, tables = mutated

@@ -98,6 +98,109 @@ class TestLatencyCollector:
         assert c.percentile_ns(0.5) is None
 
 
+class TestPercentileCacheAndBatch:
+    """The lazily sorted percentile cache and the batch recording path
+    must be observationally identical to fresh sorting / per-message
+    recording."""
+
+    def test_nearest_rank_matches_statistics_quantiles(self):
+        """Property: with 101 samples, ``statistics.quantiles`` (method
+        ``inclusive``, n=100) lands exactly on sample ranks -- the
+        interpolation weight is zero -- so nearest-rank must agree bit
+        for bit at every interior percentile, for random data."""
+        import random
+        import statistics
+        for seed in range(5):
+            rng = random.Random(seed)
+            samples = [rng.randrange(1, 10**9) for _ in range(101)]
+            c = LatencyCollector(keep_samples=True)
+            c.record_batch(samples, samples, [512] * len(samples),
+                           [0] * len(samples), [0] * len(samples))
+            cuts = statistics.quantiles(samples, n=100,
+                                        method="inclusive")
+            for i in range(1, 100):
+                assert c.percentile_ns(i / 100) == cuts[i - 1] / 1_000
+
+    def test_nearest_rank_property_random_sizes(self):
+        """Property: the nearest-rank percentile is always an actual
+        sample, and it is the smallest sample with at least ``q * n``
+        samples at or below it."""
+        import math
+        import random
+        rng = random.Random(99)
+        for _ in range(20):
+            n = rng.randrange(1, 40)
+            samples = [rng.randrange(1, 10**6) for _ in range(n)]
+            c = LatencyCollector(keep_samples=True)
+            c.record_batch(samples, samples, [512] * n, [0] * n, [0] * n)
+            q = rng.random()
+            r_ns = c.percentile_ns(q)
+            matches = [s for s in samples if s / 1_000 == r_ns]
+            assert matches
+            r = matches[0]
+            rank = max(1, math.ceil(q * n))
+            assert sum(1 for s in samples if s <= r) >= rank
+            below = [s for s in sorted(samples) if s < r]
+            if below:
+                assert sum(1 for s in samples if s <= below[-1]) < rank
+
+    def test_cache_invalidated_by_record(self):
+        """Querying, then recording more (both paths), then querying
+        again must equal a fresh collector over the union -- the sorted
+        cache may never serve stale data."""
+        c = LatencyCollector(keep_samples=True)
+        c.on_delivered(mk_packet(0, 0, 5_000))
+        c.on_delivered(mk_packet(0, 0, 1_000))
+        assert c.percentile_ns(1.0) == 5.0  # populates the cache
+        c.on_delivered(mk_packet(0, 0, 9_000))
+        assert c.percentile_ns(1.0) == 9.0
+        c.record_batch([11_000], [11_000], [512], [0], [0])
+        assert c.percentile_ns(1.0) == 11.0
+        assert c.percentile_ns(0.0) == 1.0
+        fresh = LatencyCollector(keep_samples=True)
+        fresh.record_batch([5_000, 1_000, 9_000, 11_000],
+                           [5_000, 1_000, 9_000, 11_000],
+                           [512] * 4, [0] * 4, [0] * 4)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert c.percentile_ns(q) == fresh.percentile_ns(q)
+
+    def test_cache_invalidated_by_reset(self):
+        c = LatencyCollector(keep_samples=True)
+        c.on_delivered(mk_packet(0, 0, 5_000))
+        assert c.percentile_ns(0.5) == 5.0
+        c.reset()
+        assert c.percentile_ns(0.5) is None
+        c.on_delivered(mk_packet(0, 0, 2_000))
+        assert c.percentile_ns(0.5) == 2.0
+
+    def test_record_batch_equals_sequential(self):
+        """One cohort == the same messages delivered one by one, on
+        every accumulator."""
+        pkts = [mk_packet(0, i * 100, (i + 3) * 1_000, payload=256 + i,
+                          pid=i) for i in range(7)]
+        seq = LatencyCollector(keep_samples=True)
+        for p in pkts:
+            seq.on_delivered(p)
+        batch = LatencyCollector(keep_samples=True)
+        batch.record_batch([p.latency_ps() for p in pkts],
+                           [p.network_latency_ps() for p in pkts],
+                           [p.payload_bytes for p in pkts],
+                           [p.num_itbs for p in pkts],
+                           [p.itb_overflows for p in pkts])
+        for field in ("messages", "payload_flits", "sum_latency_ps",
+                      "sum_network_latency_ps", "max_latency_ps",
+                      "sum_itbs", "sum_itb_overflows", "samples_ps"):
+            assert getattr(seq, field) == getattr(batch, field)
+
+    def test_record_batch_empty_and_inactive(self):
+        c = LatencyCollector(keep_samples=True)
+        c.record_batch([], [], [], [], [])
+        assert c.messages == 0
+        c.active = False
+        c.record_batch([1_000], [900], [512], [0], [0])
+        assert c.messages == 0
+
+
 def synthetic_run_at(capacity, window_messages=1000):
     """Network that accepts min(offered, capacity); past capacity the
     backlog grows by the excess."""

@@ -76,13 +76,19 @@ class TestBenchRegressionGate:
 
     @staticmethod
     def _bench_file(path: Path, **rates) -> Path:
-        path.write_text(json.dumps({
-            "schema": 1, "repeats": 1,
-            "points": [{"name": name, "engine": "packet",
-                        "cold_wall_s": 1.0, "best_loop_wall_s": 0.5,
-                        "events": 1000, "events_per_s": rate,
-                        "messages_delivered": 10, "messages_per_s": 20.0}
-                       for name, rate in rates.items()]}))
+        """Synthetic bench JSON; a point's value is its events/s (its
+        messages/s then scales with it) or an explicit
+        ``(events_per_s, messages_per_s)`` pair."""
+        points = []
+        for name, rate in rates.items():
+            ev, msgs = rate if isinstance(rate, tuple) else (rate, rate / 5)
+            points.append({"name": name, "engine": "packet",
+                           "cold_wall_s": 1.0, "best_loop_wall_s": 0.5,
+                           "events": 1000, "events_per_s": ev,
+                           "messages_delivered": 10,
+                           "messages_per_s": msgs})
+        path.write_text(json.dumps(
+            {"schema": 1, "repeats": 1, "points": points}))
         return path
 
     def _run(self, current: Path, baseline: Path):
@@ -103,6 +109,15 @@ class TestBenchRegressionGate:
         assert res.returncode == 1
         assert "REGRESSED" in res.stdout
 
+    def test_messages_only_regression_fails(self, tmp_path):
+        # events/s steady but messages/s collapsed: the event loop kept
+        # its pace while doing less useful work per event -- gated too
+        base = self._bench_file(tmp_path / "base.json", a=(100.0, 100.0))
+        cur = self._bench_file(tmp_path / "cur.json", a=(100.0, 60.0))
+        res = self._run(cur, base)
+        assert res.returncode == 1
+        assert "REGRESSED" in res.stdout
+
     def test_missing_point_fails(self, tmp_path):
         base = self._bench_file(tmp_path / "base.json", a=100.0, b=200.0)
         cur = self._bench_file(tmp_path / "cur.json", a=100.0)
@@ -110,13 +125,34 @@ class TestBenchRegressionGate:
         assert res.returncode == 1
         assert "MISSING" in res.stdout
 
+    def test_extra_point_fails(self, tmp_path):
+        base = self._bench_file(tmp_path / "base.json", a=100.0)
+        cur = self._bench_file(tmp_path / "cur.json", a=100.0, b=50.0)
+        res = self._run(cur, base)
+        assert res.returncode == 1
+        assert "not in baseline" in res.stderr
+
     def test_committed_baseline_is_valid(self):
         baseline = REPO / "benchmarks" / "BENCH_sim_core.json"
         data = json.loads(baseline.read_text())
-        names = {p["name"] for p in data["points"]}
-        assert {"packet-paper", "packet-val", "flit-val"} <= names
+        points = {p["name"]: p for p in data["points"]}
+        assert {"packet-paper", "array-paper", "flit-paper",
+                "packet-val", "flit-val", "array-val"} <= set(points)
         assert all(p["events_per_s"] > 0 for p in data["points"])
-        assert {"packet", "flit"} == {p["engine"] for p in data["points"]}
+        assert all(p["messages_per_s"] > 0 for p in data["points"])
+        assert {"packet", "flit", "array"} == {p["engine"]
+                                              for p in data["points"]}
+
+    def test_committed_baseline_shows_array_speedup(self):
+        # the array engine's reason to exist: >= 10x the packet engine
+        # on the paper-scale workload.  Events/s cannot compare engines
+        # (batch ticks collapse thousands of events), so the committed
+        # baseline must show the gap on messages/s.
+        baseline = REPO / "benchmarks" / "BENCH_sim_core.json"
+        points = {p["name"]: p
+                  for p in json.loads(baseline.read_text())["points"]}
+        assert (points["array-paper"]["messages_per_s"]
+                >= 10 * points["packet-paper"]["messages_per_s"])
 
     def test_missing_file_gives_clear_error(self, tmp_path):
         base = self._bench_file(tmp_path / "base.json", a=100.0)
