@@ -41,11 +41,24 @@ Commands
 ``list``
     The experiment registry.
 
-``cache {info,clear}``
-    Inspect or empty the orchestrator's on-disk result store.
+``cache {info,clear,compact}``
+    Inspect, empty or compact the orchestrator's on-disk result store
+    (``compact`` rebuilds ``index.json``, prunes corrupt records and
+    removes empty shard directories).
+
+``fabric worker``
+    A remote campaign worker: listens on ``--listen host:port`` and
+    executes tasks leased to it by a coordinator (any command run with
+    ``--fabric``).
+
+``serve``
+    Long-running HTTP service: accepts campaign specs on
+    ``POST /campaign`` and streams NDJSON progress/results, sharing
+    one warm result store across requests.
 
 ``sweep`` and ``experiment`` accept ``--workers N`` (parallel worker
-pool), ``--cache-dir`` and ``--no-cache`` (result store); a repeated
+pool) or ``--fabric host:port,...`` (remote fabric workers),
+``--cache-dir`` and ``--no-cache`` (result store); a repeated
 invocation of a completed campaign is served entirely from the store.
 
 Examples::
@@ -56,6 +69,10 @@ Examples::
     python -m repro sweep --routing updown --rates 0.005,0.01,0.015,0.02
     python -m repro sweep --workers 4 --rates 0.005,0.01,0.02,0.03
     python -m repro experiment fig7a --profile bench --workers 4
+    python -m repro fabric worker --listen 127.0.0.1:7101   # on each box
+    python -m repro sweep --fabric 127.0.0.1:7101,127.0.0.1:7102 \
+        --rates 0.005,0.01,0.02,0.03
+    python -m repro serve --port 8651
     python -m repro cache info
 """
 
@@ -154,19 +171,25 @@ def _add_exec_options(p: argparse.ArgumentParser) -> None:
                    help="base delay before re-running a failed point "
                         "(doubled per attempt, with jitter; 0 = retry "
                         "immediately)")
+    p.add_argument("--fabric", default=None, metavar="HOST:PORT,...",
+                   help="lease points to remote fabric workers "
+                        "(started with 'repro fabric worker') instead "
+                        "of local processes; --task-timeout becomes "
+                        "the lease timeout")
 
 
 def _make_executor(args: argparse.Namespace,
                    progress: bool = True) -> Optional[Executor]:
     """Executor from CLI flags; None when the plain path suffices."""
     store = None if args.no_cache else ResultStore(args.cache_dir)
-    if args.workers <= 1 and store is None:
+    fabric = getattr(args, "fabric", None)
+    if args.workers <= 1 and store is None and fabric is None:
         return None
     reporter = ProgressReporter() if progress else None
     return Executor(workers=args.workers, store=store,
                     timeout_s=args.task_timeout, retries=args.retries,
                     retry_backoff_s=args.retry_backoff,
-                    reporter=reporter)
+                    reporter=reporter, fabric=fabric)
 
 
 def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
@@ -416,9 +439,38 @@ def cmd_cache(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
     if args.cache_cmd == "info":
         print(store.info().oneline())
+    elif args.cache_cmd == "compact":
+        print(store.compact().oneline())
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} cached results from {args.cache_dir}")
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    from .orchestrator.fabric import worker_main
+    if args.fabric_cmd == "worker":
+        try:
+            worker_main(args.listen, max_sessions=args.max_sessions,
+                        announce=lambda addr: print(
+                            f"fabric worker listening on {addr}",
+                            flush=True))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    return 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .orchestrator.serve import serve_main
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    serve_main(args.host, args.port, store,
+               workers=args.workers, fabric=args.fabric,
+               timeout_s=args.task_timeout, retries=args.retries,
+               retry_backoff_s=args.retry_backoff,
+               announce=lambda addr: print(
+                   f"repro serve listening on http://{addr} "
+                   f"(POST /campaign)", flush=True))
     return 0
 
 
@@ -551,9 +603,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_list)
 
     p = sub.add_parser("cache", help="orchestrator result-store tools")
-    p.add_argument("cache_cmd", choices=["info", "clear"])
+    p.add_argument("cache_cmd", choices=["info", "clear", "compact"])
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("fabric",
+                       help="distributed campaign fabric tools")
+    p.add_argument("fabric_cmd", choices=["worker"])
+    p.add_argument("--listen", default="127.0.0.1:0",
+                   metavar="HOST:PORT",
+                   help="address to serve task leases on (port 0 "
+                        "picks a free port and prints it)")
+    p.add_argument("--max-sessions", type=int, default=None,
+                   help="exit after serving N coordinator sessions "
+                        "(default: run forever)")
+    p.set_defaults(fn=cmd_fabric)
+
+    p = sub.add_parser("serve",
+                       help="long-running HTTP campaign service "
+                            "(NDJSON streaming)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8651)
+    _add_exec_options(p)
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

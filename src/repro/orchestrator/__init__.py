@@ -1,35 +1,53 @@
 """Parallel sweep orchestrator: worker pool, result store, campaigns.
 
-Three layers, composable and individually testable:
+Five layers, composable and individually testable:
 
 * :mod:`~repro.orchestrator.pool` -- fault-tolerant multiprocessing
   worker pool (per-task timeout, bounded retry of crashed/hung
   workers, inline degradation at ``workers=1``);
 * :mod:`~repro.orchestrator.store` -- content-addressed on-disk result
   store keyed by a canonical hash of the full point description,
-  giving checkpoint/resume and a stable results-artifact format;
+  giving checkpoint/resume, a stable results-artifact format, and a
+  concurrent-writer discipline safe for many processes (atomic
+  ``meta.json``, sharded objects, ``compact()`` + ``index.json``);
+* :mod:`~repro.orchestrator.fabric` -- the distributed campaign
+  fabric: :class:`FabricWorker` remote work-queue processes and the
+  pool-compatible :class:`FabricPool` coordinator (lease-based handout
+  with timeout-driven re-lease over a length-prefixed JSON TCP
+  protocol);
+* :mod:`~repro.orchestrator.serve` -- ``repro serve``:
+  :class:`ReproServer`, a long-running HTTP service that accepts
+  campaign specs, reuses the warm cache across requests and streams
+  NDJSON progress;
 * :mod:`~repro.orchestrator.campaign` -- the :class:`Executor` front
-  door (store-first, then pool) plus :class:`Campaign` progress
-  streaming; this is what ``sweep_rates(..., executor=)``, the
-  experiment registry, the CLI and ``benchmarks/run_paper_profile.py``
-  route through.
+  door (store-first, then whichever pool: inline, local processes or
+  fabric) plus :class:`Campaign` progress streaming; this is what
+  ``sweep_rates(..., executor=)``, the experiment registry, the CLI
+  and ``benchmarks/run_paper_profile.py`` route through.
 """
 
 from __future__ import annotations
 
 from .campaign import (Campaign, CampaignError, Executor, ExecutorStats,
                        Point, ProgressReporter)
+from .fabric import FabricPool, FabricWorker
 from .pool import Task, TaskResult, WorkerPool
-from .store import DEFAULT_CACHE_DIR, ResultStore, StoreInfo
+from .serve import ReproServer
+from .store import (CompactStats, DEFAULT_CACHE_DIR, ResultStore,
+                    StoreInfo)
 
 __all__ = [
     "Campaign",
     "CampaignError",
+    "CompactStats",
     "DEFAULT_CACHE_DIR",
     "Executor",
     "ExecutorStats",
+    "FabricPool",
+    "FabricWorker",
     "Point",
     "ProgressReporter",
+    "ReproServer",
     "ResultStore",
     "StoreInfo",
     "Task",

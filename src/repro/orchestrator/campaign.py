@@ -29,6 +29,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 from ..config import SimConfig
 from ..metrics.summary import RunSummary
+from .fabric import FabricPool
 from .pool import POINT_TASK_FN, Task, TaskResult, WorkerPool
 from .store import ResultStore
 
@@ -122,16 +123,33 @@ class Executor:
 
     ``workers=1`` (the default) degrades to in-process execution, still
     with store lookups; ``store=None`` disables caching entirely.
+
+    ``fabric="host:port,..."`` (or, equivalently, passing that string
+    as ``workers``) swaps the local process pool for a
+    :class:`~repro.orchestrator.fabric.FabricPool` leasing tasks to
+    remote fabric workers; ``timeout_s`` then becomes the lease
+    timeout and ``retries``/``retry_backoff_s`` the re-lease budget.
+    Everything above this class -- sweeps, experiments, tournaments,
+    the CLI -- is oblivious to which pool executes the points.
     """
 
-    def __init__(self, workers: int = 1,
+    def __init__(self, workers=1,
                  store: Optional[ResultStore] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 1,
                  retry_backoff_s: float = 0.0,
-                 reporter: Optional[ProgressReporter] = None):
-        self.pool = WorkerPool(workers, timeout_s=timeout_s, retries=retries,
-                               retry_backoff_s=retry_backoff_s)
+                 reporter: Optional[ProgressReporter] = None,
+                 fabric: Optional[str] = None):
+        if fabric is None and isinstance(workers, str):
+            fabric, workers = workers, 1
+        if fabric is not None:
+            self.pool = FabricPool(fabric, lease_timeout_s=timeout_s,
+                                   retries=retries,
+                                   retry_backoff_s=retry_backoff_s)
+        else:
+            self.pool = WorkerPool(workers, timeout_s=timeout_s,
+                                   retries=retries,
+                                   retry_backoff_s=retry_backoff_s)
         self.store = store
         self.reporter = reporter
         self.stats = ExecutorStats()

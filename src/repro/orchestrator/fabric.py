@@ -1,0 +1,517 @@
+"""Distributed campaign fabric: remote work-queue workers + coordinator.
+
+Scales the orchestrator from one box to a fleet.  Two halves, speaking
+the length-prefixed JSON frames of :mod:`~repro.orchestrator.wire`:
+
+* :class:`FabricWorker` -- a long-running process (``repro fabric
+  worker --listen host:port``) that accepts one coordinator session at
+  a time and executes tasks sequentially, exactly like an inline
+  :class:`~repro.orchestrator.pool.WorkerPool` worker: resolve the
+  ``"module:callable"`` function, call it on the JSON payload, frame
+  the JSON result back.  Nothing about a task is fabric-specific, so
+  sweeps, tournaments and resilience campaigns run unchanged.
+* :class:`FabricPool` -- the coordinator.  It is interface-compatible
+  with :class:`~repro.orchestrator.pool.WorkerPool` (``run(tasks,
+  on_result)`` returning input-ordered :class:`TaskResult`\\ s), which
+  is what lets :class:`~repro.orchestrator.campaign.Executor` swap it
+  in behind ``fabric="host:port,..."`` with zero changes above.
+
+**Lease discipline.**  One thread per worker address pulls the next
+ready attempt off a shared queue and *leases* it to its worker.  A
+lease ends in exactly one of four ways:
+
+1. a ``result`` frame with the lease's attempt tag -> the outcome
+   (``ok`` finishes the task; ``err`` is a deterministic Python
+   exception and fails immediately, never retried -- same contract as
+   the local pool);
+2. the lease timeout (``lease_timeout_s``, the Executor's
+   ``timeout_s``) expires -> the connection is abandoned (a late
+   result on it can never be read, and the attempt tag would be
+   dropped anyway) and the task is re-leased with the pool's
+   exponential retry backoff;
+3. the connection dies mid-task (worker SIGKILLed, machine lost) ->
+   re-leased the same way, counting an attempt like a crashed local
+   worker;
+4. the task could not be *delivered* (connect refused, send failed) ->
+   re-queued without consuming an attempt: it provably never started.
+
+A worker whose address stays unreachable for ``connect_attempts``
+consecutive tries is declared dead and its thread exits; when every
+worker is dead the remaining tasks fail loudly rather than hang.
+Results stream back as they complete -- ``on_result`` fires under the
+pool lock in completion order, so progress reporting and incremental
+store writes behave exactly as with local workers.
+
+Determinism: task execution is ``_resolve(fn)(payload)`` in a single
+worker process, the same call the inline pool makes, and the caller
+reassembles results by ``task_id`` in input order -- so a campaign
+sharded across N fabric workers is bit-identical to sequential
+execution no matter how leases interleave.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .pool import Task, TaskResult, _resolve, retry_delay_s
+from .wire import (WIRE_FORMAT, FrameError, format_addr, parse_addrs,
+                   recv_frame, send_frame)
+
+__all__ = ["FabricPool", "FabricWorker", "worker_main"]
+
+
+def _code_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+class FabricWorker:
+    """Serves tasks to one coordinator at a time over TCP.
+
+    ``bind`` is ``"host:port"`` (port 0 picks a free one -- read
+    :attr:`address` after :meth:`listen`).  ``max_sessions`` bounds how
+    many coordinator sessions are served before returning (``None`` =
+    forever), which is what lets tests and smoke scripts run a worker
+    to natural completion.
+    """
+
+    def __init__(self, bind: str = "127.0.0.1:0",
+                 max_sessions: Optional[int] = None):
+        (self._host, self._port), = parse_addrs(bind)
+        self.max_sessions = max_sessions
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> str:
+        if self._sock is None:
+            raise RuntimeError("worker is not listening yet")
+        host, port = self._sock.getsockname()[:2]
+        return format_addr((host, port))
+
+    def listen(self) -> str:
+        """Bind + listen; returns the resolved ``host:port``.
+
+        Split from :meth:`serve_forever` so a parent process can bind
+        (learning the port), fork, and let the child inherit the live
+        socket -- the pattern the tests and CI smoke use.
+        """
+        if self._sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self._host, self._port))
+            sock.listen(8)
+            sock.settimeout(0.5)       # poll the stop flag in accept()
+            self._sock = sock
+        return self.address
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Accept coordinator sessions until stopped."""
+        self.listen()
+        served = 0
+        try:
+            while not self._stop.is_set():
+                if self.max_sessions is not None \
+                        and served >= self.max_sessions:
+                    break
+                try:
+                    conn, _peer = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break              # socket closed under us
+                served += 1
+                self._serve_session(conn)
+        finally:
+            self.close()
+
+    def _serve_session(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        try:
+            send_frame(conn, {"type": "hello", "pid": os.getpid(),
+                              "version": _code_version(),
+                              "wire": WIRE_FORMAT})
+            while True:
+                try:
+                    msg = recv_frame(conn)
+                except FrameError:
+                    return
+                if msg is None:
+                    return             # coordinator went away
+                kind = msg.get("type")
+                if kind == "ping":
+                    send_frame(conn, {"type": "pong"})
+                elif kind == "task":
+                    send_frame(conn, self._execute(msg))
+                elif kind == "shutdown":
+                    if msg.get("stop_server"):
+                        self._stop.set()
+                    return
+                # unknown frame types are ignored: a newer coordinator
+                # may probe with messages an older worker predates
+        except OSError:
+            pass                       # session over; back to accept()
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _execute(msg: Dict) -> Dict:
+        t0 = time.monotonic()
+        try:
+            value = _resolve(msg["fn"])(msg["payload"])
+            status, out = "ok", value
+        except BaseException:
+            status, out = "err", traceback.format_exc()
+        return {"type": "result", "task_id": msg["task_id"],
+                "attempt": msg["attempt"], "status": status,
+                "value": out, "elapsed_s": time.monotonic() - t0}
+
+
+def worker_main(bind: str = "127.0.0.1:0",
+                max_sessions: Optional[int] = None,
+                announce: Optional[Callable[[str], None]] = None) -> None:
+    """Run one fabric worker until interrupted (CLI entry point)."""
+    worker = FabricWorker(bind, max_sessions=max_sessions)
+    addr = worker.listen()
+    if announce:
+        announce(addr)
+    worker.serve_forever()
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+
+class _FabricState:
+    """Shared run() state: the lease queue and completion ledger."""
+
+    def __init__(self, tasks: Sequence[Task], n_workers: int):
+        self.cond = threading.Condition()
+        #: (task, attempt, not_before) -- identical shape to the local
+        #: pool's pending deque, so the backoff semantics transfer
+        self.pending = deque((t, 1, 0.0) for t in tasks)
+        self.done: Dict[str, TaskResult] = {}
+        self.total = len(tasks)
+        self.alive = n_workers
+
+    def finished(self) -> bool:
+        return len(self.done) >= self.total
+
+
+class FabricPool:
+    """Lease tasks across remote fabric workers (drop-in pool).
+
+    ``addrs`` is ``"host:port,..."`` or a list of ``(host, port)``
+    tuples.  ``lease_timeout_s`` bounds one attempt on one worker
+    (``None`` = unbounded: worker *death* is still detected promptly
+    via connection loss, only a live-but-hung worker can then stall
+    the campaign, mirroring the local pool without ``timeout_s``).
+    ``retries``/``retry_backoff_s``/``retry_jitter`` follow
+    :class:`~repro.orchestrator.pool.WorkerPool` exactly.
+    """
+
+    def __init__(self, addrs, lease_timeout_s: Optional[float] = None,
+                 retries: int = 1, retry_backoff_s: float = 0.0,
+                 retry_jitter: float = 0.5,
+                 connect_attempts: int = 5,
+                 connect_backoff_s: float = 0.2):
+        if isinstance(addrs, str):
+            addrs = parse_addrs(addrs)
+        self.addrs: List[Tuple[str, int]] = list(addrs)
+        if not self.addrs:
+            raise ValueError("fabric needs at least one worker address")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if lease_timeout_s is not None and lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        self.lease_timeout_s = lease_timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self.connect_attempts = max(1, connect_attempts)
+        self.connect_backoff_s = connect_backoff_s
+        self._rng = random.Random()
+
+    @property
+    def workers(self) -> int:
+        """Fleet size (drives the Executor's wave dispatch width)."""
+        return len(self.addrs)
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, tasks: Sequence[Task],
+            on_result: Optional[Callable[[TaskResult], None]] = None
+            ) -> List[TaskResult]:
+        """Execute every task on the fleet; results in input order."""
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("task ids must be unique within one run() call")
+        if not tasks:
+            return []
+        state = _FabricState(tasks, len(self.addrs))
+        threads = [
+            threading.Thread(target=self._worker_loop,
+                             args=(addr, state, on_result),
+                             name=f"fabric-{format_addr(addr)}",
+                             daemon=True)
+            for addr in self.addrs
+        ]
+        for t in threads:
+            t.start()
+        with state.cond:
+            while not state.finished() and state.alive > 0:
+                state.cond.wait(timeout=0.2)
+            if not state.finished():
+                # every worker is gone; whatever is still pending can
+                # never run -- fail loudly instead of hanging
+                while state.pending:
+                    task, attempt, _nb = state.pending.popleft()
+                    self._finish_locked(
+                        state, on_result,
+                        TaskResult(task.task_id, None,
+                                   "no reachable fabric workers "
+                                   f"(fleet: {self.describe_fleet()})",
+                                   attempt, 0.0))
+            state.cond.notify_all()
+        for t in threads:
+            t.join(timeout=10.0)
+        return [state.done[t.task_id] for t in tasks]
+
+    def describe_fleet(self) -> str:
+        return ",".join(format_addr(a) for a in self.addrs)
+
+    # -- completion / re-lease bookkeeping (under state.cond) -----------
+
+    def _finish_locked(self, state: _FabricState, on_result,
+                       res: TaskResult) -> None:
+        if res.task_id in state.done:
+            return                     # a duplicate outcome; first wins
+        state.done[res.task_id] = res
+        if on_result:
+            # called under the lock: completion handling (store writes,
+            # progress lines, executor stats) is serialised exactly as
+            # on the single-threaded local-pool path
+            on_result(res)
+        state.cond.notify_all()
+
+    def _release_locked(self, state: _FabricState, on_result, task: Task,
+                       attempt: int, started: float, reason: str,
+                       consume_attempt: bool = True) -> None:
+        """Return a leased task to the queue, or fail it out."""
+        if not consume_attempt:
+            state.pending.append((task, attempt, 0.0))
+        elif attempt <= self.retries:
+            not_before = time.monotonic() + retry_delay_s(
+                self.retry_backoff_s, self.retry_jitter, attempt, self._rng)
+            state.pending.append((task, attempt + 1, not_before))
+        else:
+            self._finish_locked(
+                state, on_result,
+                TaskResult(task.task_id, None,
+                           f"{reason} (after {attempt} attempts)",
+                           attempt, time.monotonic() - started))
+        state.cond.notify_all()
+
+    @staticmethod
+    def _next_ready_locked(state: _FabricState) -> Optional[tuple]:
+        now = time.monotonic()
+        for i, entry in enumerate(state.pending):
+            if entry[2] <= now:
+                del state.pending[i]
+                return entry
+        return None
+
+    # -- per-worker lease thread ----------------------------------------
+
+    def _connect(self, addr: Tuple[str, int]) -> socket.socket:
+        """Dial a worker and validate its hello (5 s handshake cap)."""
+        sock = socket.create_connection(addr, timeout=5.0)
+        try:
+            hello = recv_frame(sock)
+            if hello is None or hello.get("type") != "hello":
+                raise FrameError(f"worker {format_addr(addr)} sent no hello")
+            if hello.get("wire") != WIRE_FORMAT:
+                raise FrameError(
+                    f"worker {format_addr(addr)} speaks wire format "
+                    f"{hello.get('wire')}, coordinator {WIRE_FORMAT}")
+            if hello.get("version") != _code_version():
+                # results are content-addressed by code version; a
+                # mismatched worker would silently compute under
+                # different sources
+                raise FrameError(
+                    f"worker {format_addr(addr)} runs repro "
+                    f"{hello.get('version')}, coordinator "
+                    f"{_code_version()}")
+            sock.settimeout(None)
+            return sock
+        except BaseException:
+            sock.close()
+            raise
+
+    def _worker_loop(self, addr: Tuple[str, int], state: _FabricState,
+                     on_result) -> None:
+        conn: Optional[socket.socket] = None
+        dial_failures = 0
+        try:
+            while True:
+                # -- claim the next ready attempt ----------------------
+                with state.cond:
+                    entry = self._next_ready_locked(state)
+                    while entry is None:
+                        if state.finished():
+                            return
+                        # leased-elsewhere or backing off: wake when
+                        # notified, or poll for backoff expiry
+                        state.cond.wait(timeout=0.1)
+                        entry = self._next_ready_locked(state)
+                task, attempt, _nb = entry
+                started = time.monotonic()
+
+                # -- ensure a live session -----------------------------
+                if conn is None:
+                    try:
+                        conn = self._connect(addr)
+                        dial_failures = 0
+                    except (OSError, FrameError):
+                        dial_failures += 1
+                        with state.cond:
+                            # never started: no attempt consumed
+                            self._release_locked(state, on_result, task,
+                                                 attempt, started, "",
+                                                 consume_attempt=False)
+                            if dial_failures >= self.connect_attempts:
+                                state.alive -= 1
+                                state.cond.notify_all()
+                                return
+                        time.sleep(self.connect_backoff_s * dial_failures)
+                        continue
+
+                # -- hand out the lease --------------------------------
+                try:
+                    send_frame(conn, {"type": "task",
+                                      "task_id": task.task_id,
+                                      "attempt": attempt,
+                                      "fn": task.fn,
+                                      "payload": dict(task.payload)})
+                except OSError:
+                    self._drop_conn(conn)
+                    conn = None
+                    # an accept-then-die worker must not spin forever:
+                    # failed delivery counts against the dial budget too
+                    dial_failures += 1
+                    with state.cond:
+                        # undeliverable: the task never reached the
+                        # worker, so the attempt is not consumed
+                        self._release_locked(state, on_result, task,
+                                             attempt, started, "",
+                                             consume_attempt=False)
+                        if dial_failures >= self.connect_attempts:
+                            state.alive -= 1
+                            state.cond.notify_all()
+                            return
+                    time.sleep(self.connect_backoff_s * dial_failures)
+                    continue
+
+                # -- await the outcome ---------------------------------
+                conn.settimeout(self.lease_timeout_s)
+                try:
+                    msg = recv_frame(conn)
+                except socket.timeout:
+                    # lease expired: abandon the whole session -- the
+                    # worker may still be computing the stale attempt,
+                    # and a fresh dial will queue behind it
+                    self._drop_conn(conn)
+                    conn = None
+                    with state.cond:
+                        self._release_locked(
+                            state, on_result, task, attempt, started,
+                            f"lease expired after {self.lease_timeout_s}s "
+                            f"on {format_addr(addr)}")
+                    continue
+                except (OSError, FrameError):
+                    msg = None         # connection died mid-task
+                finally:
+                    if conn is not None:
+                        try:
+                            conn.settimeout(None)
+                        except OSError:
+                            pass
+
+                if msg is None:
+                    self._drop_conn(conn)
+                    conn = None
+                    with state.cond:
+                        self._release_locked(
+                            state, on_result, task, attempt, started,
+                            f"worker {format_addr(addr)} lost mid-task")
+                    continue
+
+                # -- validate + record the result ----------------------
+                if (msg.get("type") != "result"
+                        or msg.get("task_id") != task.task_id
+                        or msg.get("attempt") != attempt):
+                    # protocol desync (e.g. a stale result from a lease
+                    # this coordinator never made): drop the session and
+                    # re-lease; the attempt tag makes this safe
+                    self._drop_conn(conn)
+                    conn = None
+                    with state.cond:
+                        self._release_locked(
+                            state, on_result, task, attempt, started,
+                            f"worker {format_addr(addr)} answered out of "
+                            "protocol")
+                    continue
+
+                dial_failures = 0      # the worker is demonstrably live
+                elapsed = msg.get("elapsed_s")
+                if not isinstance(elapsed, (int, float)):
+                    elapsed = time.monotonic() - started
+                if msg.get("status") == "ok":
+                    res = TaskResult(task.task_id, msg.get("value"), None,
+                                     attempt, float(elapsed))
+                else:
+                    # a clean Python exception on the worker is
+                    # deterministic: report, never retry (pool contract)
+                    res = TaskResult(task.task_id, None,
+                                     str(msg.get("value")), attempt,
+                                     float(elapsed))
+                with state.cond:
+                    self._finish_locked(state, on_result, res)
+        finally:
+            if conn is not None:
+                try:
+                    send_frame(conn, {"type": "shutdown"})
+                except OSError:
+                    pass
+                self._drop_conn(conn)
+
+    @staticmethod
+    def _drop_conn(conn: Optional[socket.socket]) -> None:
+        if conn is None:
+            return
+        try:
+            conn.close()
+        except OSError:
+            pass

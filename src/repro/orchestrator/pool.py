@@ -44,7 +44,8 @@ from ..config import SimConfig
 from ..experiments.runner import run_simulation
 from ..metrics.summary import RunSummary
 
-__all__ = ["Task", "TaskResult", "WorkerPool", "run_point_task"]
+__all__ = ["Task", "TaskResult", "WorkerPool", "retry_delay_s",
+           "run_point_task"]
 
 #: seconds to keep waiting for the result of a worker that exited
 #: cleanly (exit code 0) before declaring it lost -- covers the queue
@@ -102,15 +103,36 @@ def run_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 POINT_TASK_FN = "repro.orchestrator.pool:run_point_task"
 
 
-def _task_main(result_q, task_id: str, fn_path: str,
+def retry_delay_s(backoff_s: float, jitter: float, failed_attempt: int,
+                  rng: random.Random) -> float:
+    """Seconds to wait before re-running after ``failed_attempt``.
+
+    Exponential (doubling per attempt) from ``backoff_s``, stretched by
+    up to ``jitter`` (a fraction) of random extra delay.  Shared by the
+    local :class:`WorkerPool` and the remote fabric coordinator so both
+    re-lease with identical pacing.
+    """
+    if backoff_s <= 0:
+        return 0.0
+    delay = backoff_s * (2.0 ** (failed_attempt - 1))
+    return delay * (1.0 + jitter * rng.random())
+
+
+def _task_main(result_q, task_id: str, attempt: int, fn_path: str,
                payload: Dict[str, Any]) -> None:
-    """Child-process entry point: run one task, report, exit."""
+    """Child-process entry point: run one task, report, exit.
+
+    The queue entry carries the ``attempt`` tag it was launched under:
+    a result flushed by an attempt the supervisor has since abandoned
+    (timed out and terminated mid-flush) must not be attributed to a
+    live retry of the same task.
+    """
     try:
         fn = _resolve(fn_path)
         value = fn(payload)
-        result_q.put((task_id, "ok", value))
+        result_q.put((task_id, attempt, "ok", value))
     except BaseException:
-        result_q.put((task_id, "err", traceback.format_exc()))
+        result_q.put((task_id, attempt, "err", traceback.format_exc()))
 
 
 class WorkerPool:
@@ -154,10 +176,30 @@ class WorkerPool:
 
     def _retry_delay_s(self, failed_attempt: int) -> float:
         """Seconds to wait before re-running after ``failed_attempt``."""
-        if self.retry_backoff_s <= 0:
+        return retry_delay_s(self.retry_backoff_s, self.retry_jitter,
+                             failed_attempt, self._rng)
+
+    @staticmethod
+    def _claim(active: Dict[str, tuple], task_id: str,
+               attempt: int) -> Optional[tuple]:
+        """Match a result-queue entry to the live attempt of its task.
+
+        Returns (and removes) the active record only when the entry's
+        attempt tag matches the attempt currently in flight; a stale
+        flush from a terminated earlier attempt returns ``None`` and
+        leaves the live attempt untouched.
+        """
+        rec = active.get(task_id)
+        if rec is None or rec[2] != attempt:
+            return None
+        return active.pop(task_id)
+
+    @staticmethod
+    def _backoff_wait_s(pending, now: float) -> float:
+        """Idle seconds until the earliest pending attempt may start."""
+        if not pending:
             return 0.0
-        delay = self.retry_backoff_s * (2.0 ** (failed_attempt - 1))
-        return delay * (1.0 + self.retry_jitter * self._rng.random())
+        return max(0.0, min(entry[2] for entry in pending) - now)
 
     def run(self, tasks: Sequence[Task],
             on_result: Optional[Callable[[TaskResult], None]] = None
@@ -245,19 +287,32 @@ class WorkerPool:
                     task, attempt, _not_before = entry
                     proc = ctx.Process(
                         target=_task_main,
-                        args=(result_q, task.task_id, task.fn, task.payload),
+                        args=(result_q, task.task_id, attempt, task.fn,
+                              task.payload),
                         daemon=True)
                     proc.start()
                     active[task.task_id] = (proc, task, attempt,
                                             time.monotonic())
 
+                if not active:
+                    # every pending attempt is backing off and nothing
+                    # is in flight: no result can arrive, so polling
+                    # the queue would be a pure busy-wait -- sleep
+                    # until the earliest not_before instead
+                    wait = self._backoff_wait_s(pending, time.monotonic())
+                    if wait > 0:
+                        time.sleep(wait)
+                    continue
+
                 try:
-                    task_id, status, value = result_q.get(timeout=0.05)
+                    task_id, res_attempt, status, value = \
+                        result_q.get(timeout=0.05)
                 except queue.Empty:
                     pass
                 else:
-                    if task_id in active:
-                        proc, task, attempt, started = active.pop(task_id)
+                    rec = self._claim(active, task_id, res_attempt)
+                    if rec is not None:
+                        proc, task, attempt, started = rec
                         exited_at.pop(task_id, None)
                         proc.join(timeout=5.0)
                         elapsed = time.monotonic() - started

@@ -24,6 +24,24 @@ Writes are atomic (temp file + ``os.replace``): a worker killed
 mid-write never leaves a half-record, it just leaves a missing point
 for the next run to redo.  Corrupt or truncated records read as
 misses, never as errors.
+
+The store is safe for **many concurrent writer processes** (the local
+worker pool, remote fabric workers streaming results back, several
+``repro serve`` requests sharing one warm cache):
+
+* ``meta.json`` is created atomically too (temp file + ``os.replace``),
+  so a cold store hammered by N first-writers never exposes a
+  half-written marker; concurrent creation is idempotent -- every
+  writer produces the same bytes and the last rename wins.
+* records live in 256 two-hex-digit shard directories
+  (``objects/<k[:2]>/``), so concurrent writers of different keys
+  rarely contend on one directory, and same-key writers converge on
+  identical content (keys are content hashes of the full task
+  description, so a double-write is a benign overwrite).
+* :meth:`ResultStore.compact` sweeps the shards into ``index.json``
+  (one atomic file listing every record), prunes corrupt or
+  mis-filed records, and removes empty shard directories --
+  ``repro cache compact`` from the CLI.
 """
 
 from __future__ import annotations
@@ -61,6 +79,22 @@ class StoreInfo:
     def oneline(self) -> str:
         mb = self.total_bytes / 1e6
         return f"{self.root}: {self.entries} results, {mb:.2f} MB"
+
+
+@dataclass(frozen=True)
+class CompactStats:
+    """Outcome of one :meth:`ResultStore.compact` pass."""
+
+    entries: int
+    total_bytes: int
+    pruned: int
+    removed_dirs: int
+
+    def oneline(self) -> str:
+        return (f"{self.entries} records indexed "
+                f"({self.total_bytes / 1e6:.2f} MB), "
+                f"{self.pruned} corrupt pruned, "
+                f"{self.removed_dirs} empty shards removed")
 
 
 class ResultStore:
@@ -111,22 +145,51 @@ class ResultStore:
             "result": result,
         }
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        meta = self.root / "meta.json"
-        if not meta.exists():
-            meta.write_text(json.dumps({"format": STORE_FORMAT}) + "\n")
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(canonical_json(record))
-                fh.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
+        self._ensure_meta()
+        self._write_atomic(path, canonical_json(record) + "\n")
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+        Concurrent writers of the same path each rename a complete
+        file into place; readers only ever observe one whole version.
+        A concurrent compaction may prune the (momentarily empty)
+        shard directory between our ``mkdir`` and ``mkstemp`` -- that
+        window is retried; once the temp file exists the directory is
+        non-empty and ``rmdir`` cannot take it away.
+        """
+        for _ in range(16):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                continue               # shard dir pruned under us; redo
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+                return
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        raise OSError(f"shard directory for {path} kept vanishing")
+
+    def _ensure_meta(self) -> None:
+        """Create ``meta.json`` atomically (idempotent under races).
+
+        ``Path.write_text`` would expose a half-written marker to a
+        concurrent first reader; renaming a finished temp file never
+        does, and when N cold-store writers race, every one renames
+        identical bytes, so whichever ``os.replace`` lands last is
+        indistinguishable from the first.
+        """
+        meta = self.root / "meta.json"
+        if meta.exists():
+            return
+        self._write_atomic(meta, json.dumps({"format": STORE_FORMAT}) + "\n")
 
     def contains(self, key: str) -> bool:
         return self.get(key) is not None
@@ -153,10 +216,93 @@ class ResultStore:
             total += f.stat().st_size
         return StoreInfo(str(self.root), entries, total)
 
+    def _prune_empty_shards(self) -> int:
+        """Remove now-empty shard directories; returns how many."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        removed = 0
+        for sub in list(objects.iterdir()):
+            if not sub.is_dir():
+                continue
+            try:
+                sub.rmdir()            # only succeeds when empty
+                removed += 1
+            except OSError:
+                pass                   # non-empty, or a racing writer
+        return removed
+
     def clear(self) -> int:
         """Delete every stored result; returns how many were removed."""
         removed = 0
         for f in list(self._object_files()):
-            f.unlink()
+            try:
+                f.unlink()
+            except FileNotFoundError:
+                continue               # a racing clear() got it first
             removed += 1
+        self._prune_empty_shards()
+        index = self.root / "index.json"
+        try:
+            index.unlink()
+        except OSError:
+            pass
         return removed
+
+    # -- compaction -----------------------------------------------------
+
+    def compact(self) -> CompactStats:
+        """Sweep the shards into ``index.json``; prune damage.
+
+        The index is one atomically-replaced file mapping every key to
+        ``{"kind", "created", "elapsed_s", "bytes"}`` -- external
+        tooling (and :meth:`index`) can enumerate a million-record
+        store with a single read instead of a directory walk.  The
+        pass also deletes records that fail to parse or whose embedded
+        key does not match their filename (a crashed writer cannot
+        produce these -- renames are atomic -- but a copied or bit-rotted
+        cache can), and removes shard directories left empty.
+        Concurrent ``put`` is safe; records landing mid-pass are simply
+        picked up by the next compaction.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        total = 0
+        pruned = 0
+        for f in list(self._object_files()):
+            key = f.stem
+            record = self.get(key)
+            if record is None:
+                try:
+                    f.unlink()
+                except OSError:
+                    pass
+                pruned += 1
+                continue
+            size = f.stat().st_size
+            total += size
+            entries[key] = {
+                "kind": record.get("kind"),
+                "created": record.get("created"),
+                "elapsed_s": record.get("elapsed_s"),
+                "bytes": size,
+            }
+        removed_dirs = self._prune_empty_shards()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._ensure_meta()
+        self._write_atomic(
+            self.root / "index.json",
+            canonical_json({"format": STORE_FORMAT,
+                            "entries": entries}) + "\n")
+        return CompactStats(len(entries), total, pruned, removed_dirs)
+
+    def index(self) -> Optional[Dict[str, Dict[str, Any]]]:
+        """The last compaction's key map, or ``None`` if never built."""
+        try:
+            with open(self.root / "index.json", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else None

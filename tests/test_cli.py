@@ -36,6 +36,37 @@ class TestParser:
             ["experiment", "fig7a", "--workers", "4", "--no-cache"])
         assert args.workers == 4 and args.no_cache
 
+    def test_fabric_exec_option(self):
+        args = build_parser().parse_args(
+            ["sweep", "--fabric", "127.0.0.1:9001,127.0.0.1:9002"])
+        assert args.fabric == "127.0.0.1:9001,127.0.0.1:9002"
+        args = build_parser().parse_args(["sweep"])
+        assert args.fabric is None
+
+    def test_fabric_worker_subcommand(self):
+        args = build_parser().parse_args(["fabric", "worker"])
+        assert args.fabric_cmd == "worker"
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_sessions is None
+        args = build_parser().parse_args(
+            ["fabric", "worker", "--listen", "0.0.0.0:9001",
+             "--max-sessions", "3"])
+        assert args.listen == "0.0.0.0:9001"
+        assert args.max_sessions == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fabric", "frobnicate"])
+
+    def test_serve_subcommand(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8651
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--workers", "2",
+             "--fabric", "127.0.0.1:9001"])
+        assert args.port == 9000
+        assert args.workers == 2
+        assert args.fabric == "127.0.0.1:9001"
+
     def test_cache_subcommand(self):
         args = build_parser().parse_args(["cache", "info"])
         assert args.cache_cmd == "info"
@@ -187,6 +218,15 @@ class TestOrchestratorCommands:
         assert "removed 2" in capsys.readouterr().out
         assert main(["cache", "info"] + cache) == 0
         assert "0 results" in capsys.readouterr().out
+
+    def test_cache_compact(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.SWEEP + cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "compact"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "2 records indexed" in out
+        assert "0 corrupt pruned" in out
 
     def test_custom_grid_size_flags(self, capsys):
         assert main(["run", "--rows", "4", "--cols", "4",

@@ -1,0 +1,282 @@
+"""Distributed campaign fabric: wire protocol, lease discipline,
+worker-death recovery and bit-identical-vs-sequential determinism.
+
+Workers run as forked child processes serving a socket bound by the
+parent (so the tests know the port without a rendezvous), which also
+makes SIGKILL scenarios honest: the killed worker is a real OS
+process whose sockets die with it.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments.sweep import sweep_rates
+from repro.orchestrator import Executor, FabricPool, FabricWorker, ResultStore
+from repro.orchestrator.pool import Task
+from repro.orchestrator.wire import (WIRE_FORMAT, FrameError, parse_addrs,
+                                     recv_frame, send_frame)
+from tests.conftest import small_config
+
+_HERE = "tests.test_fabric"
+_CTX = mp.get_context("fork")
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="fabric worker fixtures inherit a bound socket via fork")
+
+
+def double_task(payload):
+    return {"value": payload["x"] * 2}
+
+
+def boom_task(payload):
+    raise ValueError("boom")
+
+
+def slow_task(payload):
+    time.sleep(payload.get("seconds", 0.3))
+    return {"value": payload["x"] * 2}
+
+
+def hang_once_task(payload):
+    """Hangs (until the lease expires) on the first run, then returns."""
+    flag = payload["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("attempt 1\n")
+        time.sleep(60)
+    return {"recovered": True}
+
+
+@pytest.fixture
+def fleet():
+    """Start fabric workers as forked processes; kill them on exit."""
+    procs = []
+
+    def start(n=1):
+        started = []
+        for _ in range(n):
+            worker = FabricWorker()
+            addr = worker.listen()
+            proc = _CTX.Process(target=worker.serve_forever, daemon=True)
+            proc.start()
+            worker._sock.close()       # parent's copy; the child serves
+            procs.append(proc)
+            started.append((addr, proc))
+        return started
+
+    yield start
+    for proc in procs:
+        if proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=5.0)
+
+
+class TestWire:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "task", "payload": {"x": [1, 2]}})
+            assert recv_frame(b) == {"type": "task",
+                                     "payload": {"x": [1, 2]}}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00")         # half a length prefix
+        a.close()
+        try:
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_implausible_length_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\xff\xff\xff\xff")  # ~4 GB frame: not a fabric peer
+        try:
+            with pytest.raises(FrameError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_body_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00\x00\x03not")
+        try:
+            with pytest.raises(FrameError, match="undecodable|object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_addrs(self):
+        assert parse_addrs("h1:7001, h2:7002") == [("h1", 7001),
+                                                   ("h2", 7002)]
+        with pytest.raises(ValueError, match="host:port"):
+            parse_addrs("justahost")
+        with pytest.raises(ValueError, match="no fabric"):
+            parse_addrs(" , ")
+
+
+class TestFabricPool:
+    def test_two_workers_run_everything(self, fleet):
+        (a1, _), (a2, _) = fleet(2)
+        pool = FabricPool(f"{a1},{a2}")
+        assert pool.workers == 2
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(8)]
+        results = pool.run(tasks)
+        assert [r.value["value"] for r in results] == \
+            [2 * i for i in range(8)]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_clean_exception_fails_without_retry(self, fleet):
+        ((addr, _),) = fleet(1)
+        pool = FabricPool(addr, retries=3)
+        results = pool.run([Task("t", f"{_HERE}:boom_task", {})])
+        assert not results[0].ok
+        assert results[0].attempts == 1
+        assert "ValueError: boom" in results[0].error
+
+    def test_empty_task_list(self, fleet):
+        ((addr, _),) = fleet(1)
+        assert FabricPool(addr).run([]) == []
+
+    def test_duplicate_ids_rejected(self, fleet):
+        ((addr, _),) = fleet(1)
+        with pytest.raises(ValueError, match="unique"):
+            FabricPool(addr).run(
+                [Task("a", f"{_HERE}:double_task", {"x": 1}),
+                 Task("a", f"{_HERE}:double_task", {"x": 2})])
+
+    def test_sigkilled_worker_task_releases_zero_lost(self, fleet):
+        """A worker SIGKILLed mid-campaign loses no points: its lease
+        dies with its socket and the task re-runs elsewhere."""
+        (a1, p1), (a2, _p2) = fleet(2)
+        pool = FabricPool(f"{a1},{a2}", retries=2)
+        tasks = [Task(str(i), f"{_HERE}:slow_task",
+                      {"x": i, "seconds": 0.25}) for i in range(6)]
+        killed = []
+
+        def kill_first(_res):
+            if not killed:
+                os.kill(p1.pid, signal.SIGKILL)
+                killed.append(True)
+
+        results = pool.run(tasks, on_result=kill_first)
+        assert killed
+        assert all(r.ok for r in results)
+        assert [r.value["value"] for r in results] == \
+            [2 * i for i in range(6)]
+        # exactly the lease in flight on the killed worker re-ran
+        assert max(r.attempts for r in results) == 2
+
+    def test_lease_timeout_regrants_to_other_worker(self, fleet,
+                                                    tmp_path):
+        """A hung lease expires and the task re-leases; the retry lands
+        on the idle worker (the hung one is still wedged)."""
+        (a1, _), (a2, _) = fleet(2)
+        flag = str(tmp_path / "flag")
+        pool = FabricPool(f"{a1},{a2}", lease_timeout_s=0.5, retries=1)
+        t0 = time.monotonic()
+        results = pool.run([Task("t", f"{_HERE}:hang_once_task",
+                                 {"flag": flag})])
+        assert time.monotonic() - t0 < 30
+        assert results[0].ok
+        assert results[0].value == {"recovered": True}
+        assert results[0].attempts == 2
+
+    def test_unreachable_worker_does_not_stall_fleet(self, fleet):
+        ((addr, _),) = fleet(1)
+        # port 1 refuses immediately; the dead address burns no attempts
+        pool = FabricPool(f"127.0.0.1:1,{addr}",
+                          connect_attempts=2, connect_backoff_s=0.05)
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(5)]
+        results = pool.run(tasks)
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_all_workers_unreachable_fails_loudly(self):
+        pool = FabricPool("127.0.0.1:1", connect_attempts=2,
+                          connect_backoff_s=0.05)
+        results = pool.run([Task("t", f"{_HERE}:double_task", {"x": 1})])
+        assert not results[0].ok
+        assert "no reachable fabric workers" in results[0].error
+
+    def test_version_mismatch_rejected(self):
+        """A worker running different sources must not compute points:
+        the coordinator refuses its hello."""
+        srv = socket.socket()
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        addr = f"127.0.0.1:{srv.getsockname()[1]}"
+
+        def impostor():
+            conn, _ = srv.accept()
+            send_frame(conn, {"type": "hello", "pid": 1,
+                              "version": "0.0.0-bogus",
+                              "wire": WIRE_FORMAT})
+            time.sleep(1.0)
+            conn.close()
+
+        thread = threading.Thread(target=impostor, daemon=True)
+        thread.start()
+        try:
+            pool = FabricPool(addr, connect_attempts=1)
+            results = pool.run([Task("t", f"{_HERE}:double_task",
+                                     {"x": 1})])
+            assert not results[0].ok
+            assert "no reachable fabric workers" in results[0].error
+        finally:
+            srv.close()
+
+
+class TestFabricExecutor:
+    def test_campaign_bit_identical_to_sequential(self, fleet, tmp_path):
+        """The acceptance bar: a 2-worker localhost fabric reproduces
+        the sequential sweep field for field, bit for bit."""
+        (a1, _), (a2, _) = fleet(2)
+        base = small_config()
+        rates = [0.004, 0.008, 0.02, 0.04]
+        seq = sweep_rates(base, rates)
+        ex = Executor(fabric=f"{a1},{a2}", store=ResultStore(tmp_path))
+        par = sweep_rates(base, rates, executor=ex)
+        assert ex.stats.simulated == len(rates)
+        assert [r.to_dict() for r in par.runs] == \
+            [r.to_dict() for r in seq.runs]
+
+    def test_workers_string_means_fabric(self, fleet):
+        ((addr, _),) = fleet(1)
+        ex = Executor(workers=addr)
+        assert isinstance(ex.pool, FabricPool)
+        assert ex.workers == 1
+        out = ex.run_configs([small_config()])
+        assert out[0].messages_delivered > 0
+        assert ex.stats.simulated == 1
+
+    def test_fabric_rerun_is_served_from_store(self, fleet, tmp_path):
+        (a1, _), = fleet(1)
+        store = ResultStore(tmp_path)
+        configs = [small_config(injection_rate=r) for r in (0.005, 0.01)]
+        Executor(fabric=a1, store=store).run_configs(configs)
+        ex = Executor(fabric=a1, store=store)
+        ex.run_configs(configs)
+        assert ex.stats.cached == 2 and ex.stats.simulated == 0

@@ -8,6 +8,7 @@ path exactly like the real simulation tasks.
 
 import os
 import time
+from collections import deque
 
 import pytest
 
@@ -48,6 +49,19 @@ def crash_once_task(payload):
 def sleep_task(payload):
     time.sleep(payload["seconds"])
     return {"slept": True}
+
+
+def hang_once_task(payload):
+    """Hangs on the first attempt (until timed out), then succeeds.
+
+    The flag file is the only state surviving the terminated worker.
+    """
+    flag = payload["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("attempt 1\n")
+        time.sleep(60)
+    return {"attempt": 2}
 
 
 class TestWorkerPoolInline:
@@ -129,6 +143,77 @@ class TestWorkerPoolParallel:
         assert time.monotonic() - t0 < 30
         assert not results[0].ok
         assert "timed out" in results[0].error
+
+
+class TestStaleResultAttribution:
+    """Queue entries are attempt-tagged: a result flushed by a
+    terminated earlier attempt must never be credited to a live retry
+    of the same task (regression for the untagged-tuple race)."""
+
+    def test_claim_accepts_matching_attempt(self):
+        active = {"t": ("proc", "task", 2, 0.0)}
+        rec = WorkerPool._claim(active, "t", 2)
+        assert rec == ("proc", "task", 2, 0.0)
+        assert "t" not in active        # claimed records leave the map
+
+    def test_claim_drops_stale_attempt(self):
+        # attempt 1 was timed out and terminated, but its result hit
+        # the queue first; attempt 2 is the live one
+        active = {"t": ("proc", "task", 2, 0.0)}
+        assert WorkerPool._claim(active, "t", 1) is None
+        assert "t" in active            # the live attempt stays in flight
+
+    def test_claim_drops_unknown_task(self):
+        assert WorkerPool._claim({}, "ghost", 1) is None
+
+    def test_timed_out_task_result_comes_from_the_retry(self, tmp_path):
+        """End to end: attempt 1 hangs past the timeout and is killed;
+        the reported value must be attempt 2's."""
+        pool = WorkerPool(workers=2, timeout_s=0.5, retries=1)
+        flag = str(tmp_path / "flag")
+        results = pool.run([Task("t", f"{_HERE}:hang_once_task",
+                                 {"flag": flag})])
+        assert results[0].ok
+        assert results[0].value == {"attempt": 2}
+        assert results[0].attempts == 2
+
+
+class TestBackoffIdleSleep:
+    """With every pending attempt backing off and nothing active, the
+    supervisor sleeps until the earliest not_before instead of
+    spinning on the result queue at 20 Hz."""
+
+    def test_backoff_wait_helper(self):
+        now = 100.0
+        pending = deque([("t1", 2, 103.5), ("t2", 2, 101.25)])
+        assert WorkerPool._backoff_wait_s(pending, now) == \
+            pytest.approx(1.25)
+        assert WorkerPool._backoff_wait_s(deque(), now) == 0.0
+        # an already-expired backoff never produces a negative sleep
+        assert WorkerPool._backoff_wait_s(
+            deque([("t", 2, 99.0)]), now) == 0.0
+
+    def test_idle_backoff_sleeps_instead_of_polling(self, tmp_path,
+                                                    monkeypatch):
+        """The sole pending task is backing off and nothing is active:
+        the supervisor must cover the window with sleep, not with
+        dozens of 50 ms queue polls."""
+        sleeps = []
+        real_sleep = time.sleep
+
+        def recording_sleep(seconds):
+            sleeps.append(seconds)
+            real_sleep(seconds)
+
+        monkeypatch.setattr(pool_mod.time, "sleep", recording_sleep)
+        pool = WorkerPool(workers=2, retries=1, retry_backoff_s=0.6,
+                          retry_jitter=0.0)
+        flag = str(tmp_path / "flag")
+        results = pool.run([Task("t", f"{_HERE}:crash_once_task",
+                                 {"flag": flag})])
+        assert results[0].ok and results[0].attempts == 2
+        # one sleep spanning (most of) the 0.6 s backoff window
+        assert any(s > 0.4 for s in sleeps)
 
 
 class TestRetryBackoff:

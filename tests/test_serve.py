@@ -1,0 +1,117 @@
+"""``repro serve``: spec parsing, NDJSON streaming, warm-cache reuse."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.orchestrator import ReproServer, ResultStore
+from repro.orchestrator.serve import points_from_spec
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(store=ResultStore(tmp_path))
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def _request(server, method, path, body=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path,
+                 json.dumps(body) if body is not None else None, headers)
+    resp = conn.getresponse()
+    raw = resp.read().decode("utf-8")
+    conn.close()
+    lines = [json.loads(line) for line in raw.splitlines() if line]
+    return resp.status, lines
+
+
+class TestSpecs:
+    def test_rates_spec_expands_sorted(self):
+        spec = {"config": small_config().to_dict(),
+                "rates": [0.02, 0.004]}
+        points = points_from_spec(spec)
+        assert [p.config.injection_rate for p in points] == [0.004, 0.02]
+        assert points[0].point_id == "rate:0.004"
+
+    def test_points_spec_round_trips_configs(self):
+        cfg = small_config()
+        spec = {"points": [{"id": "a", "config": cfg.to_dict(),
+                            "runner_kwargs": {"collect_links": False}}]}
+        (point,) = points_from_spec(spec)
+        assert point.point_id == "a"
+        assert point.config == SimConfig.from_dict(cfg.to_dict())
+        assert point.runner_kwargs == {"collect_links": False}
+
+    def test_bad_specs_rejected(self):
+        for bad in ([], {}, {"points": []}, {"points": [{"x": 1}]},
+                    {"config": small_config().to_dict()},
+                    {"config": small_config().to_dict(), "rates": []}):
+            with pytest.raises(ValueError):
+                points_from_spec(bad)
+
+
+class TestEndpoints:
+    def test_healthz_reports_store(self, server):
+        status, (health,) = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert health["ok"] is True
+        assert health["store"]["enabled"] is True
+        assert health["store"]["entries"] == 0
+
+    def test_unknown_path_404(self, server):
+        status, (body,) = _request(server, "GET", "/nope")
+        assert status == 404 and "unknown path" in body["error"]
+        status, (body,) = _request(server, "POST", "/nope", {"x": 1})
+        assert status == 404
+
+    def test_bad_spec_400(self, server):
+        status, (body,) = _request(server, "POST", "/campaign",
+                                   {"bogus": True})
+        assert status == 400
+        assert "campaign spec" in body["error"]
+
+
+class TestCampaignStreaming:
+    SPEC = {"rates": [0.004, 0.008]}
+
+    def _spec(self):
+        return dict(self.SPEC, config=small_config().to_dict())
+
+    def test_streams_progress_then_results(self, server):
+        status, lines = _request(server, "POST", "/campaign", self._spec())
+        assert status == 200
+        assert lines[0] == {"event": "accepted", "points": 2}
+        points = [e for e in lines if e["event"] == "point"]
+        assert len(points) == 2
+        assert all(e["status"] == "done" and e["total"] == 2
+                   for e in points)
+        assert {e["completed"] for e in points} == {1, 2}
+        done = lines[-1]
+        assert done["event"] == "done"
+        assert done["stats"] == {"simulated": 2, "cached": 0, "failed": 0}
+        assert done["points"] == ["rate:0.004", "rate:0.008"]
+        assert all(r["messages_delivered"] > 0 for r in done["results"])
+
+    def test_second_request_reuses_warm_cache_bit_identically(self, server):
+        _status, first = _request(server, "POST", "/campaign", self._spec())
+        _status, second = _request(server, "POST", "/campaign", self._spec())
+        points = [e for e in second if e["event"] == "point"]
+        assert all(e["status"] == "cached" for e in points)
+        assert second[-1]["stats"]["cached"] == 2
+        # byte-for-byte the same summaries the first request computed
+        assert second[-1]["results"] == first[-1]["results"]
+
+    def test_failing_point_streams_error_event(self, server):
+        spec = {"config": small_config().to_dict(), "rates": [-1.0]}
+        status, lines = _request(server, "POST", "/campaign", spec)
+        assert status == 200      # failure arrives in-stream
+        assert lines[-1]["event"] == "error"
+        assert "1 of 1" in lines[-1]["error"]

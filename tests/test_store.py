@@ -78,6 +78,82 @@ class TestRecords:
             assert json.load(fh)["result"]["value"] == 2
 
 
+class TestMetaCreation:
+    def test_meta_written_atomically_on_first_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.key("point", _payload())
+        store.put(key, "point", _payload(), {"value": 1})
+        meta = json.loads((tmp_path / "meta.json").read_text())
+        assert meta == {"format": STORE_FORMAT}
+        # no half-written temp artefacts survive the put
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_existing_meta_left_alone(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(store.key("point", _payload()), "point", _payload(),
+                  {"value": 1})
+        before = (tmp_path / "meta.json").stat().st_mtime_ns
+        store.put(store.key("point", _payload(2)), "point", _payload(2),
+                  {"value": 2})
+        assert (tmp_path / "meta.json").stat().st_mtime_ns == before
+
+
+class TestCompaction:
+    def _fill(self, store, n=5):
+        keys = []
+        for i in range(n):
+            key = store.key("point", _payload(i))
+            store.put(key, "point", _payload(i), {"value": i},
+                      elapsed_s=float(i))
+            keys.append(key)
+        return keys
+
+    def test_compact_builds_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self._fill(store)
+        stats = store.compact()
+        assert stats.entries == 5 and stats.pruned == 0
+        index = store.index()
+        assert set(index) == set(keys)
+        for key in keys:
+            assert index[key]["kind"] == "point"
+            assert index[key]["bytes"] > 0
+        # records still read back after the pass
+        assert all(store.get(k) is not None for k in keys)
+
+    def test_compact_prunes_corrupt_and_misfiled(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self._fill(store, 3)
+        store._path(keys[0]).write_text("{truncated")
+        misfiled = store._path("f" * 64)
+        misfiled.parent.mkdir(parents=True, exist_ok=True)
+        misfiled.write_text(store._path(keys[1]).read_text())
+        stats = store.compact()
+        assert stats.entries == 2
+        assert stats.pruned == 2
+        assert not store._path(keys[0]).exists()
+        assert not misfiled.exists()
+        assert set(store.index()) == set(keys[1:])
+
+    def test_compact_removes_empty_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self._fill(store, 4)
+        for key in keys[:2]:
+            store._path(key).unlink()
+        stats = store.compact()
+        subdirs = {p.name for p in (tmp_path / "objects").iterdir()}
+        assert subdirs == {k[:2] for k in keys[2:]}
+        assert stats.removed_dirs >= 1
+
+    def test_compact_empty_store(self, tmp_path):
+        stats = ResultStore(tmp_path / "cold").compact()
+        assert stats.entries == 0 and stats.pruned == 0
+        assert ResultStore(tmp_path / "cold").index() == {}
+
+    def test_index_absent_before_compact(self, tmp_path):
+        assert ResultStore(tmp_path).index() is None
+
+
 class TestMaintenance:
     def test_info_counts_entries(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -100,6 +176,16 @@ class TestMaintenance:
         assert store.clear() == 4
         assert store.info().entries == 0
         assert all(store.get(k) is None for k in keys)
+
+    def test_clear_removes_empty_shard_dirs_and_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(4):
+            key = store.key("point", _payload(i))
+            store.put(key, "point", _payload(i), {"value": i})
+        store.compact()
+        store.clear()
+        assert list((tmp_path / "objects").iterdir()) == []
+        assert not (tmp_path / "index.json").exists()
 
     def test_clear_empty_store(self, tmp_path):
         assert ResultStore(tmp_path / "never-created").clear() == 0
