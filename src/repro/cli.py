@@ -49,7 +49,16 @@ Commands
 ``fabric worker``
     A remote campaign worker: listens on ``--listen host:port`` and
     executes tasks leased to it by a coordinator (any command run with
-    ``--fabric``).
+    ``--fabric``).  With ``--tls --tls-cert PEM --tls-key PEM`` every
+    session is TLS-wrapped; the coordinator pins the matching bundle
+    with ``--tls-ca PEM``.
+
+``chaos``
+    Robustness acceptance drill: boots two localhost fabric workers,
+    runs a sweep through a deterministic chaos proxy (dropped, delayed,
+    corrupted, torn, reset and replayed frames; optionally SIGKILLs a
+    worker mid-campaign with ``--kill-one``) and asserts the result is
+    bit-identical to the same sweep run sequentially in-process.
 
 ``serve``
     Long-running HTTP service: accepts campaign specs on
@@ -176,6 +185,10 @@ def _add_exec_options(p: argparse.ArgumentParser) -> None:
                         "(started with 'repro fabric worker') instead "
                         "of local processes; --task-timeout becomes "
                         "the lease timeout")
+    p.add_argument("--tls-ca", default=None, metavar="PEM",
+                   help="pin fabric worker connections to this CA "
+                        "bundle (workers must serve the matching "
+                        "certificate via --tls)")
 
 
 def _make_executor(args: argparse.Namespace,
@@ -189,7 +202,8 @@ def _make_executor(args: argparse.Namespace,
     return Executor(workers=args.workers, store=store,
                     timeout_s=args.task_timeout, retries=args.retries,
                     retry_backoff_s=args.retry_backoff,
-                    reporter=reporter, fabric=fabric)
+                    reporter=reporter, fabric=fabric,
+                    tls_ca=getattr(args, "tls_ca", None))
 
 
 def _config_from(args: argparse.Namespace, rate: float) -> SimConfig:
@@ -450,8 +464,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_fabric(args: argparse.Namespace) -> int:
     from .orchestrator.fabric import worker_main
     if args.fabric_cmd == "worker":
+        if args.tls and not (args.tls_cert and args.tls_key):
+            print("--tls requires --tls-cert and --tls-key",
+                  file=sys.stderr)
+            return 2
         try:
             worker_main(args.listen, max_sessions=args.max_sessions,
+                        tls_cert=args.tls_cert if args.tls else None,
+                        tls_key=args.tls_key if args.tls else None,
                         announce=lambda addr: print(
                             f"fabric worker listening on {addr}",
                             flush=True))
@@ -459,6 +479,87 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             pass
         return 0
     return 2
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Two-worker chaos drill: bit-identity under an adversarial wire."""
+    import signal
+    import subprocess
+    import threading
+    import time
+
+    from .orchestrator.chaos import ChaosFabric, ChaosPlan
+
+    rates = [float(r) for r in args.rates.split(",")]
+    base = _config_from(args, rates[0])
+    plan = {"quiet": ChaosPlan.quiet,
+            "mild": ChaosPlan.mild,
+            "storm": ChaosPlan.storm}[args.plan]
+    plan = plan() if args.plan == "quiet" else plan(seed=args.chaos_seed)
+    if args.budget is not None:
+        plan = ChaosPlan.from_dict(dict(plan.to_dict(),
+                                        max_events=args.budget))
+    print(f"chaos plan: {plan.describe()}")
+
+    print(f"sequential baseline: {len(rates)} points ...", flush=True)
+    seq = sweep_rates(base, rates)
+
+    procs = []
+
+    def spawn_worker():
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fabric", "worker",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        procs.append(proc)
+        marker = "fabric worker listening on "
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"fabric worker exited before announcing "
+                    f"(rc={proc.poll()})")
+            if marker in line:
+                return line.split(marker, 1)[1].split()[0]
+        raise RuntimeError("fabric worker never announced its address")
+
+    try:
+        backends = f"{spawn_worker()},{spawn_worker()}"
+        print(f"fleet up: {backends}")
+        with ChaosFabric(backends, plan) as chaos:
+            ex = Executor(fabric=chaos.addrs,
+                          timeout_s=args.lease_timeout,
+                          retries=args.retries,
+                          reporter=ProgressReporter())
+            # chaos-induced handshake failures (a reset hello) must not
+            # declare a healthy worker dead mid-drill
+            ex.pool.connect_attempts = max(ex.pool.connect_attempts, 20)
+            if args.kill_one:
+                def reaper():
+                    deadline = time.monotonic() + 120
+                    while (time.monotonic() < deadline
+                           and ex.stats.simulated < 1):
+                        time.sleep(0.05)
+                    if procs[0].poll() is None:
+                        procs[0].send_signal(signal.SIGKILL)
+                        print(f"SIGKILLed worker pid={procs[0].pid} "
+                              f"mid-campaign", flush=True)
+                threading.Thread(target=reaper, daemon=True).start()
+            par = sweep_rates(base, rates, executor=ex)
+            print(f"points: {ex.stats.oneline()}")
+            print(chaos.log.summary())
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    if [r.to_dict() for r in par.runs] != [r.to_dict() for r in seq.runs]:
+        print("FAIL: chaos-run results differ from sequential",
+              file=sys.stderr)
+        return 1
+    print(f"bit-identical under chaos: {len(rates)} points OK")
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -617,7 +718,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-sessions", type=int, default=None,
                    help="exit after serving N coordinator sessions "
                         "(default: run forever)")
+    p.add_argument("--tls", action="store_true",
+                   help="serve sessions over TLS (requires --tls-cert "
+                        "and --tls-key; coordinators pin the matching "
+                        "bundle with --tls-ca)")
+    p.add_argument("--tls-cert", default=None, metavar="PEM",
+                   help="certificate chain served to coordinators")
+    p.add_argument("--tls-key", default=None, metavar="PEM",
+                   help="private key for --tls-cert")
     p.set_defaults(fn=cmd_fabric)
+
+    p = sub.add_parser("chaos",
+                       help="two-worker chaos drill: assert bit-identity "
+                            "under an adversarial fabric wire")
+    _add_run_options(p)
+    p.add_argument("--rates", default="0.005,0.01,0.02",
+                   help="comma-separated offered loads")
+    p.add_argument("--plan", default="storm",
+                   choices=["quiet", "mild", "storm"],
+                   help="chaos schedule preset (storm = every fault "
+                        "kind at once)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="derives the fault schedule; repeat invocations "
+                        "inject the same faults")
+    p.add_argument("--budget", type=int, default=None,
+                   help="override the plan's total injected-fault budget")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   help="per-attempt lease timeout in seconds")
+    p.add_argument("--retries", type=int, default=8,
+                   help="re-lease budget per point (chaos consumes "
+                        "attempts)")
+    p.add_argument("--kill-one", action="store_true",
+                   help="also SIGKILL one worker after the first point "
+                        "lands")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("serve",
                        help="long-running HTTP campaign service "

@@ -33,6 +33,7 @@ from ..sim.base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
 from ..sim.engine import Simulator
 from ..sim.engines import make_network
 from ..sim.faults import FaultPlan
+from ..sim.invariants import audit as audit_invariants
 from ..sim.reliable import (ReconfigParams, ReconfigurationManager,
                             ReliableParams, ReliableTransport)
 from ..topology import build as build_topology
@@ -107,7 +108,8 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
                    reliable: Optional[Any] = None,
                    reconfig: Optional[Any] = None,
                    recovery_threshold: float = 0.9,
-                   collect_percentiles: bool = False) -> RunSummary:
+                   collect_percentiles: bool = False,
+                   check_invariants: bool = False) -> RunSummary:
     """Execute one simulation run described by ``config``.
 
     ``collect_links`` additionally gathers the per-link utilisation
@@ -138,6 +140,13 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
     post-fault window whose accepted traffic is back within
     ``recovery_threshold`` of the pre-fault mean.
 
+    ``check_invariants`` audits the runtime invariant suite
+    (:func:`repro.sim.invariants.audit`: message conservation, channel
+    occupancy bounds, ITB byte-accounting) at the warm-up and
+    measurement boundaries and raises
+    :class:`~repro.sim.invariants.InvariantViolation` on the first
+    failure; requires an engine declaring ``CAP_INVARIANTS``.
+
     ``perf`` (a :class:`repro.perf.PerfRecorder`) receives wall-clock
     and events/sec figures for the run; ``profile_path`` additionally
     dumps a :mod:`cProfile` trace of the whole call to that file.
@@ -147,7 +156,8 @@ def run_simulation(config: SimConfig, collect_links: bool = False,
         return _run_simulation(config, collect_links, root, sort_by_itbs,
                                watchdog_ps, tables, graph, perf,
                                fault_plan, reliable, reconfig,
-                               recovery_threshold, collect_percentiles)
+                               recovery_threshold, collect_percentiles,
+                               check_invariants)
 
 
 def _coerce(value: Any, cls: type) -> Any:
@@ -169,7 +179,8 @@ def _run_simulation(config: SimConfig, collect_links: bool,
                     reliable: Optional[Any] = None,
                     reconfig: Optional[Any] = None,
                     recovery_threshold: float = 0.9,
-                    collect_percentiles: bool = False) -> RunSummary:
+                    collect_percentiles: bool = False,
+                    check_invariants: bool = False) -> RunSummary:
     t_start = _now()
     config.validate()
     if graph is not None:
@@ -285,6 +296,10 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     # boundary into the collector, which the reset below then discards
     network.reset_stats()
     collector.reset()
+    if check_invariants:
+        # warm-up boundary: conservation laws, occupancy bounds and
+        # ITB byte-accounting must hold exactly here (CAP_INVARIANTS)
+        audit_invariants(network).raise_if_failed()
     if tracker is not None:
         tracker.start(config.warmup_ps)
     delivered_before = network.delivered
@@ -296,6 +311,12 @@ def _run_simulation(config: SimConfig, collect_links: bool,
     backlog_before = network.in_flight
     sim.run_until(config.warmup_ps + config.measure_ps)
     network.finalize()
+    if check_invariants:
+        # measurement boundary; with traffic stopped and the fabric
+        # drained the stricter quiescent-state laws apply too
+        audit_invariants(network,
+                         drained=network.in_flight == 0
+                         and sim.pending_events == 0).raise_if_failed()
     t_sim_done = _now()
     backlog_growth = network.in_flight - backlog_before
 

@@ -129,8 +129,11 @@ class Executor:
     :class:`~repro.orchestrator.fabric.FabricPool` leasing tasks to
     remote fabric workers; ``timeout_s`` then becomes the lease
     timeout and ``retries``/``retry_backoff_s`` the re-lease budget.
-    Everything above this class -- sweeps, experiments, tournaments,
-    the CLI -- is oblivious to which pool executes the points.
+    ``tls_ca`` (fabric only) pins every worker connection to the given
+    PEM CA bundle -- workers must serve the matching certificate
+    (``repro fabric worker --tls ...``).  Everything above this class
+    -- sweeps, experiments, tournaments, the CLI -- is oblivious to
+    which pool executes the points.
     """
 
     def __init__(self, workers=1,
@@ -139,13 +142,17 @@ class Executor:
                  retries: int = 1,
                  retry_backoff_s: float = 0.0,
                  reporter: Optional[ProgressReporter] = None,
-                 fabric: Optional[str] = None):
+                 fabric: Optional[str] = None,
+                 tls_ca: Optional[str] = None):
         if fabric is None and isinstance(workers, str):
             fabric, workers = workers, 1
+        if tls_ca is not None and fabric is None:
+            raise ValueError("tls_ca applies to fabric workers only")
         if fabric is not None:
             self.pool = FabricPool(fabric, lease_timeout_s=timeout_s,
                                    retries=retries,
-                                   retry_backoff_s=retry_backoff_s)
+                                   retry_backoff_s=retry_backoff_s,
+                                   tls_ca=tls_ca)
         else:
             self.pool = WorkerPool(workers, timeout_s=timeout_s,
                                    retries=retries,

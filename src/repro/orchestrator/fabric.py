@@ -54,6 +54,7 @@ from __future__ import annotations
 import os
 import random
 import socket
+import ssl
 import threading
 import time
 import traceback
@@ -84,12 +85,27 @@ class FabricWorker:
     many coordinator sessions are served before returning (``None`` =
     forever), which is what lets tests and smoke scripts run a worker
     to natural completion.
+
+    ``tls_cert``/``tls_key`` (both PEM paths, given together) wrap every
+    accepted session in TLS.  The model is CA pinning, not a PKI: the
+    coordinator verifies the worker's certificate against exactly the
+    bundle it was given (``FabricPool(tls_ca=...)``), so a worker
+    serving any other certificate -- or a plaintext impostor on the
+    same port -- fails the handshake and is treated as unreachable.
     """
 
     def __init__(self, bind: str = "127.0.0.1:0",
-                 max_sessions: Optional[int] = None):
+                 max_sessions: Optional[int] = None,
+                 tls_cert: Optional[str] = None,
+                 tls_key: Optional[str] = None):
         (self._host, self._port), = parse_addrs(bind)
         self.max_sessions = max_sessions
+        if (tls_cert is None) != (tls_key is None):
+            raise ValueError("tls_cert and tls_key must be given together")
+        self._tls: Optional[ssl.SSLContext] = None
+        if tls_cert is not None:
+            self._tls = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            self._tls.load_cert_chain(tls_cert, tls_key)
         self._sock: Optional[socket.socket] = None
         self._stop = threading.Event()
 
@@ -139,6 +155,19 @@ class FabricWorker:
                     continue
                 except OSError:
                     break              # socket closed under us
+                if self._tls is not None:
+                    try:
+                        conn.settimeout(5.0)   # bound the handshake
+                        conn = self._tls.wrap_socket(conn,
+                                                     server_side=True)
+                    except (OSError, ssl.SSLError):
+                        # failed handshake (plaintext probe, wrong CA):
+                        # not a session -- drop it and keep serving
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                        continue
                 served += 1
                 self._serve_session(conn)
         finally:
@@ -191,9 +220,12 @@ class FabricWorker:
 
 def worker_main(bind: str = "127.0.0.1:0",
                 max_sessions: Optional[int] = None,
-                announce: Optional[Callable[[str], None]] = None) -> None:
+                announce: Optional[Callable[[str], None]] = None,
+                tls_cert: Optional[str] = None,
+                tls_key: Optional[str] = None) -> None:
     """Run one fabric worker until interrupted (CLI entry point)."""
-    worker = FabricWorker(bind, max_sessions=max_sessions)
+    worker = FabricWorker(bind, max_sessions=max_sessions,
+                          tls_cert=tls_cert, tls_key=tls_key)
     addr = worker.listen()
     if announce:
         announce(addr)
@@ -230,13 +262,21 @@ class FabricPool:
     the campaign, mirroring the local pool without ``timeout_s``).
     ``retries``/``retry_backoff_s``/``retry_jitter`` follow
     :class:`~repro.orchestrator.pool.WorkerPool` exactly.
+
+    ``tls_ca`` (a PEM bundle path) turns every dial into a TLS
+    handshake verified against exactly that bundle (CA pinning --
+    hostname checks are off because workers are addressed by IP; the
+    pinned CA is the identity).  A worker presenting a certificate the
+    bundle does not vouch for fails the handshake, which counts as a
+    dial failure like any refused connection.
     """
 
     def __init__(self, addrs, lease_timeout_s: Optional[float] = None,
                  retries: int = 1, retry_backoff_s: float = 0.0,
                  retry_jitter: float = 0.5,
                  connect_attempts: int = 5,
-                 connect_backoff_s: float = 0.2):
+                 connect_backoff_s: float = 0.2,
+                 tls_ca: Optional[str] = None):
         if isinstance(addrs, str):
             addrs = parse_addrs(addrs)
         self.addrs: List[Tuple[str, int]] = list(addrs)
@@ -252,6 +292,12 @@ class FabricPool:
         self.retry_jitter = retry_jitter
         self.connect_attempts = max(1, connect_attempts)
         self.connect_backoff_s = connect_backoff_s
+        self._tls: Optional[ssl.SSLContext] = None
+        if tls_ca is not None:
+            self._tls = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+            self._tls.check_hostname = False   # workers addressed by IP
+            self._tls.verify_mode = ssl.CERT_REQUIRED
+            self._tls.load_verify_locations(cafile=tls_ca)
         self._rng = random.Random()
 
     @property
@@ -348,6 +394,12 @@ class FabricPool:
     def _connect(self, addr: Tuple[str, int]) -> socket.socket:
         """Dial a worker and validate its hello (5 s handshake cap)."""
         sock = socket.create_connection(addr, timeout=5.0)
+        if self._tls is not None:
+            try:
+                sock = self._tls.wrap_socket(sock)
+            except (OSError, ssl.SSLError):
+                sock.close()
+                raise
         try:
             hello = recv_frame(sock)
             if hello is None or hello.get("type") != "hello":

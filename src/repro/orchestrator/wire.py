@@ -38,7 +38,8 @@ import struct
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["FrameError", "MAX_FRAME_BYTES", "WIRE_FORMAT",
-           "format_addr", "parse_addrs", "recv_frame", "send_frame"]
+           "format_addr", "parse_addrs", "recv_frame", "recv_raw_frame",
+           "send_frame"]
 
 #: bump when the message vocabulary changes incompatibly; coordinator
 #: and worker refuse to pair across versions
@@ -96,6 +97,29 @@ def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
     if not isinstance(message, dict):
         raise FrameError(f"frame is not an object: {message!r}")
     return message
+
+
+def recv_raw_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one frame as raw bytes (length prefix included), without
+    decoding the payload; ``None`` on clean EOF at a frame boundary.
+
+    This is the frame-aware tap the chaos proxy
+    (:class:`repro.orchestrator.chaos.ChaosProxy`) pumps through: it
+    preserves frame boundaries so injected faults (drops, delays,
+    duplicates, torn frames) operate on whole protocol messages rather
+    than an opaque byte stream.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds "
+                         f"{MAX_FRAME_BYTES} (not a fabric peer?)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("connection closed before frame body")
+    return header + body
 
 
 def parse_addrs(spec: str) -> List[Tuple[str, int]]:

@@ -35,7 +35,7 @@ engine-uniform; capability-declining engines raise
 from __future__ import annotations
 
 from .base import (ALL_CAPABILITIES, CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
-                   CAP_DYNAMIC_FAULTS, CAP_ITB_POOL,
+                   CAP_DYNAMIC_FAULTS, CAP_INVARIANTS, CAP_ITB_POOL,
                    CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
                    ItbStats, LinkChannelStats, NetworkModel, NO_ITB_STATS,
                    UnsupportedCapability)
@@ -57,7 +57,7 @@ __all__ = ["Simulator", "DeadlockError", "Packet", "NetworkModel",
            "NO_ITB_STATS",
            "ALL_CAPABILITIES", "CAP_LINK_STATS", "CAP_ITB_POOL",
            "CAP_TRACE", "CAP_DYNAMIC_FAULTS", "CAP_RELIABLE_DELIVERY",
-           "CAP_BATCH_INJECT", "CAP_BATCH_DELIVERY",
+           "CAP_BATCH_INJECT", "CAP_BATCH_DELIVERY", "CAP_INVARIANTS",
            "FaultPlan", "LinkFault", "MessageSequencer",
            "ReliableParams", "ReliableTransport", "ReconfigParams",
            "ReconfigurationManager",

@@ -43,6 +43,15 @@ class RoundRobinArbiter:
         """Number of queued (ungranted) requests."""
         return self._nwaiting
 
+    def waiting_tokens(self) -> List[object]:
+        """The queued (ungranted) tokens in key order, without mutating
+        any queue -- the invariant auditor and the deadlock diagnoser
+        read the wait-for graph through this."""
+        tokens: List[object] = []
+        for key in self._order:
+            tokens.extend(e[0] for e in self._queues[key])
+        return tokens
+
     def request(self, key: Hashable, token: object,
                 grant: GrantCallback, *args) -> bool:
         """Request ownership for ``token`` arriving on input ``key``.

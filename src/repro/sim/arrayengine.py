@@ -70,8 +70,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT, CAP_LINK_STATS,
-                   LinkChannelStats, NetworkModel)
+from .base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT, CAP_INVARIANTS,
+                   CAP_LINK_STATS, LinkChannelStats, NetworkModel)
 from .engines import register
 from .packet import Packet
 
@@ -119,7 +119,7 @@ class ArrayNetwork(NetworkModel):
     """Batched greedy-reservation engine (see module docstring)."""
 
     CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_BATCH_INJECT,
-                              CAP_BATCH_DELIVERY})
+                              CAP_BATCH_DELIVERY, CAP_INVARIANTS})
 
     #: simulated time between batch ticks; results are stride-invariant,
     #: the stride only trades heap events against per-tick batch size
@@ -651,6 +651,75 @@ class ArrayNetwork(NetworkModel):
             self._walk_slot(slots[midx], times[midx])
 
     # -- delivery ----------------------------------------------------------
+
+    # -- runtime invariants --------------------------------------------------
+
+    def _audit_engine(self, check) -> None:
+        check(len(self._p_leg) == len(self._p_info)
+              and len(self._p_injected) == len(self._p_info),
+              "slot arrays out of sync")
+        live = sum(1 for info in self._p_info if info is not None)
+        check(live == self.in_flight,
+              f"conservation: {live} live slots but ledger says "
+              f"{self.in_flight} packets in flight")
+        check(all(b >= 0 for b in self._busy),
+              "channel busy horizon went negative")
+        check(all(f >= 0 for f in self._flits),
+              "channel flit counter went negative")
+        check(all(r >= 0 for r in self._reserved),
+              "channel reserved time went negative")
+        for slot, info in enumerate(self._p_info):
+            if info is None:
+                continue
+            check(0 <= self._p_leg[slot] < len(info[0].legs),
+                  f"slot {slot}: leg index {self._p_leg[slot]} outside "
+                  f"its {len(info[0].legs)}-leg route")
+        for t_tail, slot in self._pending_del:
+            check(self._p_info[slot] is not None,
+                  f"pending delivery references freed slot {slot}")
+            check(self._pend_min is not None
+                  and self._pend_min <= t_tail,
+                  f"pending-delivery minimum out of date ({self._pend_min}"
+                  f" vs {t_tail})")
+        check((self._pend_min is None) == (not self._pending_del),
+              "pending-delivery minimum set without pending entries")
+        check(0 <= self._sched_i <= len(self._sched_t),
+              "primed-schedule cursor out of range")
+        check(len(self._sink_lat) == len(self._sink_netlat)
+              == len(self._sink_payload) == len(self._sink_itbs),
+              "delivery-sink cohort lists out of sync")
+
+    def _audit_drained(self, check) -> None:
+        live = sum(1 for info in self._p_info if info is not None)
+        check(live == 0, f"drained: {live} slots still live")
+        check(not self._work, f"drained: {len(self._work)} work items "
+                              "still heaped")
+        check(not self._pending_del,
+              f"drained: {len(self._pending_del)} deliveries pending")
+        check(self._sched_i == len(self._sched_t),
+              f"drained: primed schedule has "
+              f"{len(self._sched_t) - self._sched_i} unadmitted entries")
+        check(not self._sink_lat,
+              f"drained: {len(self._sink_lat)} deliveries unflushed")
+
+    def _stall_snapshot(self) -> dict:
+        # the greedy-reservation walk cannot block, so there is no
+        # wait-for graph; a stall here means the engine stopped
+        # scheduling work while slots are live
+        live = [slot for slot, info in enumerate(self._p_info)
+                if info is not None]
+        return {
+            "blocked_worms": [
+                {"pid": self._p_info[s][5], "src": self._p_info[s][1],
+                 "dst": self._p_info[s][2], "leg": self._p_leg[s]}
+                for s in live[:64]],
+            "channel_owners": [],
+            "wait_for": [],
+            "work_heap": len(self._work),
+            "next_work_ps": self._work[0][0] if self._work else None,
+            "pending_deliveries": len(self._pending_del),
+            "busy_horizon_ps": max(self._busy, default=0),
+        }
 
     def _complete(self, slot: int, t_tail: int) -> None:
         info = self._p_info[slot]

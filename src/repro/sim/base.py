@@ -73,12 +73,19 @@ CAP_BATCH_INJECT = "batch_inject"
 #: :meth:`~repro.metrics.collector.LatencyCollector.record_batch`)
 #: instead of one callback invocation per packet
 CAP_BATCH_DELIVERY = "batch_delivery"
+#: engine supports the runtime invariant auditor
+#: (:func:`repro.sim.invariants.audit`: conservation laws, channel
+#: occupancy bounds, ITB byte-accounting) and the stall diagnoser
+#: (:func:`repro.sim.invariants.diagnose_stall`: wait-for graph +
+#: cycle detection behind the deadlock watchdog)
+CAP_INVARIANTS = "invariants"
 
 #: every capability a backend may declare
 ALL_CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
                               CAP_DYNAMIC_FAULTS,
                               CAP_RELIABLE_DELIVERY,
-                              CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
+                              CAP_BATCH_INJECT, CAP_BATCH_DELIVERY,
+                              CAP_INVARIANTS})
 
 
 class UnsupportedCapability(RuntimeError):
@@ -340,15 +347,50 @@ class NetworkModel(ABC):
 
     def install_watchdog(self, interval_ps: int) -> None:
         """Abort with :class:`DeadlockError` when packets are in flight
-        but nothing was delivered for a whole ``interval_ps``."""
+        but nothing was delivered for a whole ``interval_ps``.
+
+        Engines declaring :data:`CAP_INVARIANTS` attach a JSON-safe
+        stall diagnosis (channel owners, blocked worms, route legs,
+        detected wait-for cycle) to the error instead of wedging with a
+        bare "no progress" message.
+        """
         def check() -> None:
             if self.in_flight > 0 and self.delivered_since_check == 0:
+                diagnosis = None
+                if CAP_INVARIANTS in self.capabilities():
+                    from .invariants import diagnose_stall
+                    diagnosis = diagnose_stall(self)
                 raise DeadlockError(
                     f"{self.name} engine: no delivery for {interval_ps} ps "
                     f"with {self.in_flight} packets in flight "
-                    f"at t={self.sim.now}")
+                    f"at t={self.sim.now}", diagnosis=diagnosis)
             self.delivered_since_check = 0
         self.sim.set_watchdog(interval_ps, check)
+
+    # -- runtime invariants (engines declaring CAP_INVARIANTS) -------------
+
+    def _audit_engine(self, check: Callable[[bool, str], None]) -> None:
+        """Engine hook: run engine-specific structural invariants
+        through ``check(condition, description)``.  Engines declaring
+        :data:`CAP_INVARIANTS` must override."""
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_INVARIANTS!r} but does "
+            "not implement _audit_engine()")
+
+    def _audit_drained(self, check: Callable[[bool, str], None]) -> None:
+        """Engine hook: invariants that hold only with zero packets in
+        flight (empty buffers, free arbiters, zeroed ITB pools)."""
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_INVARIANTS!r} but does "
+            "not implement _audit_drained()")
+
+    def _stall_snapshot(self) -> Dict:
+        """Engine hook: JSON-safe stall state (channel owners, blocked
+        worms, wait-for edges) for :func:`repro.sim.invariants
+        .diagnose_stall`."""
+        raise NotImplementedError(
+            f"engine {self.name!r} declares {CAP_INVARIANTS!r} but does "
+            "not implement _stall_snapshot()")
 
     def reset_stats(self) -> None:
         """End-of-warm-up reset of the engine's statistics."""

@@ -23,6 +23,7 @@ we detect it).
 from __future__ import annotations
 
 import heapq
+import json
 from time import perf_counter as _perf_counter
 from typing import Callable, List, Optional, Tuple
 
@@ -31,7 +32,30 @@ _heappop = heapq.heappop
 
 
 class DeadlockError(RuntimeError):
-    """Raised when the configured watchdog detects lack of progress."""
+    """Raised when the configured watchdog detects lack of progress.
+
+    When the stalled engine supports runtime diagnosis
+    (:data:`~repro.sim.base.CAP_INVARIANTS`), ``diagnosis`` carries the
+    JSON-safe stall dump built by
+    :func:`repro.sim.invariants.diagnose_stall` -- channel owners,
+    blocked worms, route legs and the detected wait-for cycle -- and
+    the rendered dump is appended to the message, so a deadlocked run
+    names its cycle instead of just reporting "no progress".
+    """
+
+    def __init__(self, message: str = "",
+                 diagnosis: Optional[dict] = None) -> None:
+        if diagnosis is not None:
+            cycle = diagnosis.get("wait_for_cycle")
+            if cycle:
+                message += "\nwait-for cycle:\n  " + "\n  ".join(
+                    (f"pid {n['waiter']} waits on {n['waits_on']} "
+                     f"held by pid {n['held_by']}")
+                    if isinstance(n, dict) else str(n) for n in cycle)
+            message += ("\ndeadlock diagnosis:\n"
+                        + json.dumps(diagnosis, indent=2, sort_keys=True))
+        super().__init__(message)
+        self.diagnosis = diagnosis
 
 
 class Simulator:

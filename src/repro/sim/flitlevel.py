@@ -40,9 +40,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..config import MyrinetParams
 from .arbiter import RoundRobinArbiter
-from .base import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
-                   CAP_RELIABLE_DELIVERY, CAP_TRACE, ItbStats,
-                   LinkChannelStats, NetworkModel)
+from .base import (CAP_DYNAMIC_FAULTS, CAP_INVARIANTS, CAP_ITB_POOL,
+                   CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
+                   ItbStats, LinkChannelStats, NetworkModel)
 from .engine import Simulator
 from .engines import register
 from .nic import ItbPool
@@ -378,7 +378,7 @@ class FlitLevelNetwork(NetworkModel):
 
     CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
                               CAP_DYNAMIC_FAULTS,
-                              CAP_RELIABLE_DELIVERY})
+                              CAP_RELIABLE_DELIVERY, CAP_INVARIANTS})
 
     # -- construction ----------------------------------------------------
 
@@ -514,6 +514,105 @@ class FlitLevelNetwork(NetworkModel):
         drop the cut-through counter and credit the buffer pool."""
         self._itb_rx.pop((pkt.pid, leg_idx), None)
         self._itb_pools[host].itb_release(pkt.wire_bytes(leg_idx))
+
+    # -- runtime invariants ------------------------------------------------
+
+    def _port_name(self, key) -> str:
+        if key[0] == "dlv":
+            return f"dlv ->host {key[1]}"
+        return f"net {key[0]}->{key[1]}"
+
+    def _audit_engine(self, check) -> None:
+        now = self.sim.now
+        slack = self.params.slack_buffer_bytes
+        for key, port in self._out_ports.items():
+            name = self._port_name(key)
+            arb = port.arbiter
+            check(arb.waiting() == len(arb.waiting_tokens()),
+                  f"port {name}: waiting count out of sync with queues")
+            check(arb.owner is not None or arb.waiting() == 0,
+                  f"port {name}: requests queued on a free arbiter")
+            check((port.packet is None) == (arb.owner is None)
+                  and (port.packet is None or arb.owner is port.packet),
+                  f"port {name}: port/arbiter owner disagreement")
+            check(0 <= port.reserved_ps
+                  <= max(0, now - self._stats_reset_ps),
+                  f"port {name}: reserved {port.reserved_ps} ps outside "
+                  f"the {max(0, now - self._stats_reset_ps)} ps window")
+        for w in self._wires:
+            buf = w.rx
+            if buf is None:
+                continue
+            check(buf.occupancy == len(buf.queue),
+                  f"buffer at {w.name}: occupancy {buf.occupancy} != "
+                  f"{len(buf.queue)} queued flits")
+            if buf.nic < 0:       # switch slack buffers are bounded
+                check(0 <= buf.occupancy <= slack,
+                      f"buffer at {w.name}: occupancy {buf.occupancy} "
+                      f"outside [0, {slack}]")
+            check(w.flits_carried >= 0,
+                  f"wire {w.name}: negative flit count")
+        for pool in self._itb_pools:
+            check(pool.itb_bytes >= 0,
+                  f"host {pool.host}: negative ITB pool occupancy")
+            check(pool.itb_peak_bytes >= pool.itb_bytes,
+                  f"host {pool.host}: ITB peak below current occupancy")
+        for (pid, leg), flits in self._itb_rx.items():
+            check(flits >= 0,
+                  f"pid {pid} leg {leg}: negative ITB reception count")
+
+    def _audit_drained(self, check) -> None:
+        for key, port in self._out_ports.items():
+            check(port.packet is None and port.arbiter.waiting() == 0,
+                  f"drained: port {self._port_name(key)} still owned or "
+                  "waited on")
+        for w in self._wires:
+            if w.rx is not None:
+                check(w.rx.occupancy == 0,
+                      f"drained: buffer at {w.name} holds "
+                      f"{w.rx.occupancy} flits")
+        for inj in self._injectors:
+            check(not inj.jobs,
+                  f"drained: host {inj.host} injector has "
+                  f"{len(inj.jobs)} queued jobs")
+        for pool in self._itb_pools:
+            check(pool.itb_bytes == 0,
+                  f"drained: host {pool.host} ITB pool holds "
+                  f"{pool.itb_bytes} bytes")
+        check(not self._itb_rx,
+              f"drained: {len(self._itb_rx)} ITB receptions in progress")
+
+    def _stall_snapshot(self) -> Dict:
+        owners, wait_for, blocked = [], [], {}
+        for key, port in self._out_ports.items():
+            arb = port.arbiter
+            if port.packet is None and arb.waiting() == 0:
+                continue
+            name = self._port_name(key)
+            waiters = arb.waiting_tokens()
+            owners.append({
+                "channel": name,
+                "owner": getattr(port.packet, "pid", None),
+                "waiters": [t.pid for t in waiters],
+                "stopped_upstream": (port.src_buffer.stopped
+                                     if port.src_buffer is not None
+                                     else False)})
+            for pkt in waiters:
+                blocked.setdefault(pkt.pid, (pkt, name))
+                wait_for.append({
+                    "waiter": pkt.pid,
+                    "channel": name,
+                    "owner": getattr(port.packet, "pid", None)})
+        worms = [{
+            "pid": pid,
+            "src": pkt.src_host, "dst": pkt.dst_host,
+            "route_legs": [list(leg.switches) for leg in pkt.route.legs],
+            "waits_on": name}
+            for pid, (pkt, name) in sorted(blocked.items())]
+        backlog = {inj.host: len(inj.jobs)
+                   for inj in self._injectors if inj.jobs}
+        return {"blocked_worms": worms, "channel_owners": owners,
+                "wait_for": wait_for, "injector_backlog": backlog}
 
     # -- dynamic faults ----------------------------------------------------
 

@@ -39,10 +39,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from .base import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
-                   CAP_RELIABLE_DELIVERY, CAP_TRACE, ItbStats,
-                   LinkChannelStats, NetworkModel)
-from .channel import Channel, DEL, INJ, NET
+from .base import (CAP_DYNAMIC_FAULTS, CAP_INVARIANTS, CAP_ITB_POOL,
+                   CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
+                   ItbStats, LinkChannelStats, NetworkModel)
+from .channel import Channel, DEL, INJ, KIND_NAMES, NET
 from .engines import register
 from .nic import Nic
 from .packet import Packet
@@ -92,7 +92,7 @@ class WormholeNetwork(NetworkModel):
 
     CAPABILITIES = frozenset({CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
                               CAP_DYNAMIC_FAULTS,
-                              CAP_RELIABLE_DELIVERY})
+                              CAP_RELIABLE_DELIVERY, CAP_INVARIANTS})
 
     # -- construction ------------------------------------------------------
 
@@ -351,6 +351,98 @@ class WormholeNetwork(NetworkModel):
         if pool_host >= 0:
             self.nics[pool_host].itb_release(pool_bytes)
         ch.arbiter.release(pkt)
+
+    # -- runtime invariants --------------------------------------------------
+
+    def _channel_name(self, ch: Channel) -> str:
+        tag = f" link {ch.link_id}" if ch.link_id >= 0 else ""
+        return f"{KIND_NAMES[ch.kind]} {ch.src}->{ch.dst}{tag}"
+
+    def _audit_engine(self, check) -> None:
+        now = self.sim.now
+        for ch in self.channels:
+            arb = ch.arbiter
+            name = self._channel_name(ch)
+            check(arb.waiting() == len(arb.waiting_tokens()),
+                  f"channel {name}: waiting count out of sync with queues")
+            check(arb.owner is not None or arb.waiting() == 0,
+                  f"channel {name}: requests queued on a free arbiter")
+            check(ch.transfer_flits >= 0,
+                  f"channel {name}: negative flit count")
+            check(0 <= ch.reserved_ps <= max(0, now - ch.last_reset_ps),
+                  f"channel {name}: reserved {ch.reserved_ps} ps outside "
+                  f"the {max(0, now - ch.last_reset_ps)} ps window")
+        held_pool: Dict[int, int] = {}
+        for pid, tr in self._active.items():
+            check(not tr.dropped, f"pid {pid}: dropped transit in _active")
+            for ch, _g in tr.holds:
+                check(ch.arbiter.owner is tr.pkt,
+                      f"pid {pid}: holds {self._channel_name(ch)} whose "
+                      "arbiter names a different owner")
+            if tr.pending is not None:
+                check(any(t is tr.pkt
+                          for t in tr.pending.waiting_tokens()),
+                      f"pid {pid}: pending arbiter lost its request")
+            if tr.pool_host >= 0:
+                held_pool[tr.pool_host] = (held_pool.get(tr.pool_host, 0)
+                                           + tr.pool_bytes)
+        for nic in self.nics:
+            check(nic.itb_bytes >= 0,
+                  f"host {nic.host}: negative ITB pool occupancy")
+            check(nic.itb_peak_bytes >= nic.itb_bytes,
+                  f"host {nic.host}: ITB peak below current occupancy")
+            check(held_pool.get(nic.host, 0) <= nic.itb_bytes,
+                  f"host {nic.host}: active transits reserve "
+                  f"{held_pool.get(nic.host, 0)} ITB bytes but the pool "
+                  f"accounts only {nic.itb_bytes}")
+
+    def _audit_drained(self, check) -> None:
+        check(not self._active,
+              f"drained: {len(self._active)} transits still active")
+        for ch in self.channels:
+            check(ch.arbiter.owner is None and ch.arbiter.waiting() == 0,
+                  f"drained: channel {self._channel_name(ch)} still owned "
+                  "or waited on")
+        for nic in self.nics:
+            check(nic.itb_bytes == 0,
+                  f"drained: host {nic.host} ITB pool holds "
+                  f"{nic.itb_bytes} bytes")
+
+    def _stall_snapshot(self) -> Dict:
+        arb_channel = {id(ch.arbiter): ch for ch in self.channels}
+        owners = []
+        for ch in self.channels:
+            arb = ch.arbiter
+            if arb.owner is None and arb.waiting() == 0:
+                continue
+            owners.append({
+                "channel": self._channel_name(ch),
+                "owner": getattr(arb.owner, "pid", None),
+                "waiters": [getattr(t, "pid", None)
+                            for t in arb.waiting_tokens()]})
+        worms, wait_for = [], []
+        for pid, tr in sorted(self._active.items()):
+            pkt = tr.pkt
+            leg = pkt.route.legs[tr.leg_idx]
+            entry = {
+                "pid": pid,
+                "src": pkt.src_host, "dst": pkt.dst_host,
+                "leg": tr.leg_idx,
+                "route_switches": list(leg.switches),
+                "holds": [self._channel_name(ch) for ch, _g in tr.holds],
+                "waits_on": None}
+            if tr.pending is not None:
+                blocked_ch = arb_channel.get(id(tr.pending))
+                owner = tr.pending.owner
+                if blocked_ch is not None:
+                    entry["waits_on"] = self._channel_name(blocked_ch)
+                wait_for.append({
+                    "waiter": pid,
+                    "channel": entry["waits_on"],
+                    "owner": getattr(owner, "pid", None)})
+            worms.append(entry)
+        return {"blocked_worms": worms, "channel_owners": owners,
+                "wait_for": wait_for}
 
     # -- dynamic faults ------------------------------------------------------
 

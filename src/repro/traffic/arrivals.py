@@ -17,6 +17,10 @@ burstiness responding to the network, never a hidden rate change.
   separated by exponential silences, duty cycle ``duty``;
 * :class:`PoissonBurstArrivals` -- burst *events* arrive as a Poisson
   process, each carrying a geometric number of messages;
+* :class:`ParetoOnOffArrivals` -- ON/OFF with *Pareto* (heavy-tailed)
+  silences: aggregating many such sources yields self-similar traffic
+  (the Willinger/Taqqu construction), the load shape under which
+  Markovian buffering intuition fails worst;
 * :class:`AdversarialArrivals` -- an (r, b)-adversary in the sense of
   "Source Routing and Scheduling in Packet Networks" (arXiv
   cs/0203030): every host accumulates ``burst`` tokens and dumps them
@@ -128,6 +132,48 @@ class OnOffArrivals(ArrivalProcess):
         drawn = 1 + _geometric(self.burst - 1, rng)
         self._remaining[host] = drawn - 1
         return now_ps + self._off_gap_ps(drawn, rng)
+
+
+class ParetoOnOffArrivals(OnOffArrivals):
+    """ON/OFF source whose silences are Pareto (heavy-tailed).
+
+    Identical to :class:`OnOffArrivals` -- geometric ON trains at the
+    peak interval, OFF gaps whose *mean* keeps one cycle averaging
+    ``burst * interval`` -- except the OFF gap is drawn from a Pareto
+    distribution with shape ``alpha`` in (1, 2].  With infinite
+    variance (alpha <= 2) the superposition of many such sources is
+    asymptotically self-similar (Willinger et al., the ON/OFF
+    construction of long-range-dependent traffic): load arrives in
+    correlated waves at *every* timescale instead of smoothing out,
+    which is exactly the regime where Poisson-calibrated buffer and
+    ITB-pool sizing is most optimistic.  The long-run mean rate is
+    still the configured one -- only the gap distribution's tail
+    changes.
+    """
+
+    name = "pareto-onoff"
+
+    def __init__(self, interval_ps: int, duty: float = 0.25,
+                 burst: int = 8, alpha: float = 1.5) -> None:
+        super().__init__(interval_ps, duty=duty, burst=burst)
+        if not (1.0 < alpha <= 2.0):
+            raise ValueError("pareto shape alpha must be in (1, 2]: "
+                             "alpha <= 1 has no mean (the rate would "
+                             "drift), alpha > 2 has finite variance "
+                             "(no self-similarity)")
+        self.alpha = alpha
+
+    def _off_gap_ps(self, drawn_burst: int, rng: random.Random) -> int:
+        # same mean as the exponential parent, heavy-tailed shape:
+        # Pareto(xm, alpha) has mean xm * alpha / (alpha - 1)
+        mean_off = max(1, drawn_burst * self.interval_ps
+                       - (drawn_burst - 1) * self.peak_interval_ps)
+        xm = mean_off * (self.alpha - 1.0) / self.alpha
+        # flooring u costs ~3e-4 of the mean at alpha=1.5 and keeps a
+        # single draw from swallowing the whole measurement window
+        u = max(rng.random(), 1e-12)
+        gap = xm / u ** (1.0 / self.alpha)
+        return max(1, round(min(gap, 1e6 * mean_off)))
 
 
 class PoissonBurstArrivals(ArrivalProcess):
@@ -251,6 +297,22 @@ def _register() -> None:
                 Kwarg("burst", int, 8, "mean messages per ON train")),
         label=lambda kw: (f"onoff(d={kw.get('duty', 0.25)},"
                           f"b={kw.get('burst', 8)})"),
+    ))
+    register_arrival(ArrivalSpec(
+        name="pareto-onoff",
+        description="self-similar ON/OFF source: geometric trains at "
+                    "peak rate separated by Pareto (heavy-tailed) "
+                    "silences",
+        build=ParetoOnOffArrivals,
+        kwargs=(Kwarg("duty", float, 0.25,
+                      "fraction of time the source is ON, in (0, 1]"),
+                Kwarg("burst", int, 8, "mean messages per ON train"),
+                Kwarg("alpha", float, 1.5,
+                      "Pareto tail shape in (1, 2]; lower = heavier "
+                      "tail")),
+        label=lambda kw: (f"pareto(d={kw.get('duty', 0.25)},"
+                          f"b={kw.get('burst', 8)},"
+                          f"a={kw.get('alpha', 1.5)})"),
     ))
     register_arrival(ArrivalSpec(
         name="burst",

@@ -25,7 +25,7 @@ from repro.sim import (PacketTracer, Simulator, UnsupportedCapability,
                        engine_capabilities, make_network)
 from repro.sim.arrayengine import ArrayNetwork
 from repro.sim.base import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT,
-                            CAP_LINK_STATS)
+                            CAP_INVARIANTS, CAP_LINK_STATS)
 from repro.sim.faults import FaultPlan
 from repro.topology import build_torus
 from repro.units import ns
@@ -81,7 +81,8 @@ def run_primed(graph, tables, sched, collect=True):
 class TestCapabilities:
     def test_declared_capabilities(self):
         assert engine_capabilities("array") == frozenset(
-            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
+            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY,
+             CAP_INVARIANTS})
 
     def test_declined_capabilities_raise(self, graph, tables):
         net = make_network("array", Simulator(), graph, tables,

@@ -20,8 +20,8 @@ from repro.experiments.runner import run_simulation
 from repro.routing.policies import make_policy
 from repro.routing.routes import RouteLeg, SourceRoute
 from repro.routing.table import RoutingTables, compute_tables
-from repro.sim import (CAP_DYNAMIC_FAULTS, CAP_ITB_POOL, CAP_LINK_STATS,
-                       CAP_RELIABLE_DELIVERY, CAP_TRACE,
+from repro.sim import (CAP_DYNAMIC_FAULTS, CAP_INVARIANTS, CAP_ITB_POOL,
+                       CAP_LINK_STATS, CAP_RELIABLE_DELIVERY, CAP_TRACE,
                        NetworkModel, PacketTracer, Simulator,
                        UnsupportedCapability, available_engines,
                        engine_capabilities, get_engine, make_network,
@@ -83,7 +83,8 @@ class TestRegistry:
         for name in ENGINES:
             assert engine_capabilities(name) == frozenset(
                 {CAP_LINK_STATS, CAP_ITB_POOL, CAP_TRACE,
-                 CAP_DYNAMIC_FAULTS, CAP_RELIABLE_DELIVERY})
+                 CAP_DYNAMIC_FAULTS, CAP_RELIABLE_DELIVERY,
+                 CAP_INVARIANTS})
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -291,7 +292,8 @@ class TestArrayEngineParity:
     def test_capability_matrix(self):
         from repro.sim import (CAP_BATCH_DELIVERY, CAP_BATCH_INJECT)
         assert engine_capabilities("array") == frozenset(
-            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY})
+            {CAP_LINK_STATS, CAP_BATCH_INJECT, CAP_BATCH_DELIVERY,
+             CAP_INVARIANTS})
 
     def test_drained_counts_and_link_flits_identical(
             self, torus44_graph, torus44_itb_tables, traffic_pairs):

@@ -249,6 +249,135 @@ class TestFabricPool:
             srv.close()
 
 
+class TestPerAddressGiveUp:
+    """The connect_attempts budget: a persistently failing address is
+    declared dead after exactly that many consecutive failures, without
+    consuming any task attempts."""
+
+    @pytest.fixture
+    def accept_then_die(self):
+        """A listener that accepts and instantly closes every dial --
+        the accept-then-die failure mode (a worker wedged in accept,
+        a half-up container).  Yields (addr, accept_counter)."""
+        srv = socket.socket()
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(16)
+        srv.settimeout(0.2)
+        accepts = []
+        stop = threading.Event()
+
+        def loop():
+            while not stop.is_set():
+                try:
+                    conn, _ = srv.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                accepts.append(1)
+                conn.close()
+
+        thread = threading.Thread(target=loop, daemon=True)
+        thread.start()
+        yield f"127.0.0.1:{srv.getsockname()[1]}", accepts
+        stop.set()
+        srv.close()
+        thread.join(timeout=2.0)
+
+    def test_flaky_address_gives_up_within_budget(self, fleet,
+                                                  accept_then_die):
+        ((good, _),) = fleet(1)
+        flaky, accepts = accept_then_die
+        budget = 3
+        pool = FabricPool(f"{flaky},{good}", connect_attempts=budget,
+                          connect_backoff_s=0.02)
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(6)]
+        results = pool.run(tasks)
+        # the campaign completed entirely on the good worker ...
+        assert [r.value["value"] for r in results] == \
+            [2 * i for i in range(6)]
+        # ... and the flaky address was abandoned within its budget
+        # rather than redialled for every remaining task
+        assert 1 <= len(accepts) <= budget
+
+    def test_give_up_consumes_no_task_attempts(self, fleet,
+                                               accept_then_die):
+        """Failed delivery re-queues without burning an attempt: even
+        with retries=0 every task must succeed on its first (and only)
+        attempt once it reaches a real worker."""
+        ((good, _),) = fleet(1)
+        flaky, _accepts = accept_then_die
+        pool = FabricPool(f"{flaky},{good}", retries=0,
+                          connect_attempts=2, connect_backoff_s=0.02)
+        tasks = [Task(str(i), f"{_HERE}:double_task", {"x": i})
+                 for i in range(6)]
+        results = pool.run(tasks)
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+
+_DATA = os.path.join(os.path.dirname(__file__), "data")
+CERT_A = os.path.join(_DATA, "worker-a.crt")
+KEY_A = os.path.join(_DATA, "worker-a.key")
+CERT_B = os.path.join(_DATA, "worker-b.crt")
+
+
+class TestFabricTls:
+    """TLS-wrapped fabric sessions with CA pinning."""
+
+    @pytest.fixture
+    def tls_worker(self):
+        worker = FabricWorker("127.0.0.1:0", tls_cert=CERT_A,
+                              tls_key=KEY_A)
+        addr = worker.listen()
+        thread = threading.Thread(target=worker.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield addr
+        worker.close()
+
+    def test_pinned_ca_round_trip(self, tls_worker):
+        pool = FabricPool(tls_worker, tls_ca=CERT_A)
+        results = pool.run([Task(str(i), f"{_HERE}:double_task",
+                                 {"x": i}) for i in range(4)])
+        assert [r.value["value"] for r in results] == [0, 2, 4, 6]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_cert_mismatch_rejected(self, tls_worker):
+        """A worker serving a certificate the pinned bundle does not
+        vouch for must fail the handshake and count as unreachable --
+        no task is ever sent to it."""
+        pool = FabricPool(tls_worker, tls_ca=CERT_B,
+                          connect_attempts=2, connect_backoff_s=0.02)
+        results = pool.run([Task("t", f"{_HERE}:double_task", {"x": 1})])
+        assert not results[0].ok
+        assert "no reachable fabric workers" in results[0].error
+        # the rejected handshakes must not have wedged the worker
+        good = FabricPool(tls_worker, tls_ca=CERT_A)
+        assert good.run([Task("t", f"{_HERE}:double_task",
+                              {"x": 2})])[0].value == {"value": 4}
+
+    def test_plaintext_coordinator_rejected(self, tls_worker):
+        pool = FabricPool(tls_worker, connect_attempts=2,
+                          connect_backoff_s=0.02)
+        results = pool.run([Task("t", f"{_HERE}:double_task", {"x": 1})])
+        assert not results[0].ok
+
+    def test_worker_requires_cert_and_key_together(self):
+        with pytest.raises(ValueError, match="together"):
+            FabricWorker(tls_cert=CERT_A)
+
+    def test_executor_threads_tls_ca(self, tls_worker):
+        ex = Executor(workers=tls_worker, tls_ca=CERT_A)
+        assert isinstance(ex.pool, FabricPool)
+        out = ex.run_configs([small_config()])
+        assert out[0].messages_delivered > 0
+
+    def test_executor_rejects_tls_without_fabric(self):
+        with pytest.raises(ValueError, match="fabric"):
+            Executor(workers=2, tls_ca=CERT_A)
+
+
 class TestFabricExecutor:
     def test_campaign_bit_identical_to_sequential(self, fleet, tmp_path):
         """The acceptance bar: a 2-worker localhost fabric reproduces

@@ -109,6 +109,39 @@ class TestCampaignStreaming:
         # byte-for-byte the same summaries the first request computed
         assert second[-1]["results"] == first[-1]["results"]
 
+    def test_concurrent_requests_share_one_warm_store(self, server):
+        """Two clients submitting the same campaign at once must both
+        stream to completion with bit-identical results: the shared
+        store is concurrency-safe (concurrent misses may race to
+        simulate, but the simulation is deterministic, so whichever
+        write wins the readers agree), and afterwards the store is warm
+        for both."""
+        import threading
+
+        outcomes = {}
+
+        def submit(tag):
+            outcomes[tag] = _request(server, "POST", "/campaign",
+                                     self._spec())
+
+        threads = [threading.Thread(target=submit, args=(tag,))
+                   for tag in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        assert set(outcomes) == {"a", "b"}
+        for tag, (status, lines) in outcomes.items():
+            assert status == 200, tag
+            assert lines[-1]["event"] == "done", (tag, lines[-1])
+        done_a, done_b = outcomes["a"][1][-1], outcomes["b"][1][-1]
+        assert done_a["results"] == done_b["results"]
+        # the warm store now serves the campaign without simulating
+        _status, third = _request(server, "POST", "/campaign",
+                                  self._spec())
+        assert third[-1]["stats"]["cached"] == 2
+        assert third[-1]["results"] == done_a["results"]
+
     def test_failing_point_streams_error_event(self, server):
         spec = {"config": small_config().to_dict(), "rates": [-1.0]}
         status, lines = _request(server, "POST", "/campaign", spec)

@@ -20,8 +20,8 @@ from repro.sim.network import WormholeNetwork
 from repro.topology import build_torus
 from repro.traffic import make_pattern
 from repro.traffic.arrivals import (AdversarialArrivals, ConstantArrivals,
-                                    OnOffArrivals, PoissonArrivals,
-                                    PoissonBurstArrivals)
+                                    OnOffArrivals, ParetoOnOffArrivals,
+                                    PoissonArrivals, PoissonBurstArrivals)
 from repro.traffic.base import TrafficProcess, per_host_interval_ps
 from repro.traffic.bitreversal import BitReversalTraffic, reverse_bits
 from repro.traffic.collective import (AllReduceTraffic, AllToAllTraffic,
@@ -418,9 +418,11 @@ class TestArrivalProcesses:
         lambda i: ConstantArrivals(i),
         lambda i: PoissonArrivals(i),
         lambda i: OnOffArrivals(i, duty=0.25, burst=8),
+        lambda i: ParetoOnOffArrivals(i, duty=0.25, burst=8, alpha=1.5),
         lambda i: PoissonBurstArrivals(i, burst=8, spacing_ps=100),
         lambda i: AdversarialArrivals(i, burst=16, spacing_ps=100),
-    ], ids=["constant", "poisson", "onoff", "burst", "adversarial"])
+    ], ids=["constant", "poisson", "onoff", "pareto-onoff", "burst",
+            "adversarial"])
     def test_mean_rate_preserved(self, factory):
         mean = self._mean_gap(factory(self.INTERVAL))
         assert mean == pytest.approx(self.INTERVAL, rel=0.03)
@@ -440,6 +442,38 @@ class TestArrivalProcesses:
         peak = sum(1 for gap in gaps if gap == proc.peak_interval_ps)
         assert peak / len(gaps) == pytest.approx((burst - 1) / burst,
                                                  abs=0.02)
+
+    def test_pareto_onoff_tail_is_heavy(self):
+        """The OFF gaps are power-law: silences beyond 20x the mean OFF
+        gap occur at a rate an exponential tail cannot produce.
+
+        With mean-8 trains at duty 0.25 the mean OFF gap is ~57 500 ps;
+        an exponential silence exceeds 20x that with probability e^-20
+        (never, in 50k draws), while Pareto(alpha=1.5) does so with
+        probability ~(3/40)^1.5 / ... -- comfortably often.  This is
+        the property that makes the aggregate self-similar.
+        """
+        duty, burst, alpha = 0.25, 8, 1.5
+        proc = ParetoOnOffArrivals(self.INTERVAL, duty=duty, burst=burst,
+                                   alpha=alpha)
+        peak = proc.peak_interval_ps
+        mean_off = burst * self.INTERVAL - (burst - 1) * peak
+        rng = random.Random(3)
+        now, off_gaps = 0, []
+        for _ in range(50_000):
+            t = proc.next_fire_ps(0, now, rng)
+            if t - now != peak:
+                off_gaps.append(t - now)
+            now = t
+        huge = sum(1 for gap in off_gaps if gap > 20 * mean_off)
+        assert huge >= 10          # exponential: P ~ e^-20 per draw
+        # and the same aggregate rate discipline as plain onoff: within-
+        # train gaps still run at the peak interval
+        assert (len(off_gaps) / 50_000
+                == pytest.approx(1 / burst, abs=0.02))
+
+    def test_pareto_onoff_registered(self):
+        assert "pareto-onoff" in available_arrivals()
 
     def test_adversarial_rb_envelope(self):
         """Injections in any window [s, t] stay under r(t-s) + b."""
@@ -465,6 +499,10 @@ class TestArrivalProcesses:
     def test_param_validation(self):
         with pytest.raises(ValueError):
             OnOffArrivals(self.INTERVAL, duty=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            ParetoOnOffArrivals(self.INTERVAL, alpha=1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            ParetoOnOffArrivals(self.INTERVAL, alpha=2.5)
         with pytest.raises(ValueError):
             OnOffArrivals(self.INTERVAL, burst=0)
         with pytest.raises(ValueError):
